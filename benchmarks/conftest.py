@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Each benchmark module regenerates one table or figure of the paper at a
+laptop-scale configuration (recorded in EXPERIMENTS.md).  Results are
+printed to stdout (run with ``-s`` to see them live) and appended to
+``benchmarks/results/`` so EXPERIMENTS.md entries can be refreshed by
+copy-paste.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def record_result():
+    """Write a named experiment report to benchmarks/results/<name>.txt."""
+
+    def writer(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return writer
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Ablation benches — design-choice validation (DESIGN.md §4 extras)."""
+
+from conftest import run_once
+
+from repro.experiments import (
+    run_ablation_offsets,
+    run_ablation_reindexing,
+    run_ablation_warm_start,
+)
+
+
+def test_bench_ablation_reindexing(benchmark, record_result):
+    result = run_once(
+        benchmark, run_ablation_reindexing, num_nodes=60, num_steps=500,
+    )
+    record_result("ablation_reindexing", result.format())
+    for h in result.horizons:
+        assert result.reindexing_helps(h), h
+
+
+def test_bench_ablation_offsets(benchmark, record_result):
+    result = run_once(
+        benchmark, run_ablation_offsets, num_nodes=60, num_steps=500,
+    )
+    record_result("ablation_offsets", result.format())
+    assert result.offsets_help(1)
+
+
+def test_bench_ablation_deadband(benchmark, record_result):
+    from repro.experiments import run_ablation_deadband
+
+    result = run_once(
+        benchmark, run_ablation_deadband, num_nodes=60, num_steps=800,
+    )
+    record_result("ablation_deadband", result.format())
+    # Sec. II's argument: implicit-frequency policies cannot be budgeted;
+    # the Lyapunov policy can.
+    assert result.max_adaptive_miss() < 0.05
+    assert result.max_deadband_miss() > 0.15
+
+
+def test_bench_ablation_warm_start(benchmark, record_result):
+    result = run_once(
+        benchmark, run_ablation_warm_start, num_nodes=80, num_steps=500,
+    )
+    record_result("ablation_warm_start", result.format())
+    assert result.quality_gap() < 0.01
+    assert result.seconds["warm"] < result.seconds["cold"]

@@ -1,0 +1,16 @@
+"""Fig. 11 bench — intersection similarity vs Jaccard index."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig11
+
+
+def test_bench_fig11(benchmark, record_result):
+    result = run_once(
+        benchmark, run_fig11, num_nodes=60, num_steps=700,
+        horizons=(1, 5, 10, 25), start=100,
+    )
+    record_result("fig11_similarity", result.format())
+    # Paper claim: the proposed measure is better than or similar to the
+    # Jaccard index in all cases.
+    assert result.proposed_not_worse(tolerance=0.01) >= 0.9

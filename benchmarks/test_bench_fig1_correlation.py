@@ -1,0 +1,17 @@
+"""Fig. 1 bench — spatial-correlation CDFs, sensor vs cluster data."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig1
+
+
+def test_bench_fig1(benchmark, record_result):
+    result = run_once(
+        benchmark, run_fig1, num_nodes=54, num_steps=1500, cluster_nodes=80
+    )
+    record_result("fig1_correlation", result.format())
+    # Paper claim: sensor correlations mostly > 0.5; cluster mostly not.
+    assert result.fraction_above_half["temperature"] > 0.8
+    assert result.fraction_above_half["humidity"] > 0.8
+    assert result.fraction_above_half["cpu"] < 0.5
+    assert result.fraction_above_half["memory"] < 0.5

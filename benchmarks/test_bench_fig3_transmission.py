@@ -1,0 +1,18 @@
+"""Fig. 3 bench — requested vs actual transmission frequency."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig3
+
+
+def test_bench_fig3(benchmark, record_result):
+    result = run_once(benchmark, run_fig3, num_nodes=60, num_steps=2000)
+    record_result("fig3_transmission", result.format())
+    # Paper claim: actual frequency tracks the requested budget closely.
+    for dataset, freqs in result.actual.items():
+        for budget, freq in zip(result.budgets, freqs):
+            assert freq <= budget * 1.6 + 0.005, (dataset, budget, freq)
+            if budget >= 0.05:
+                assert abs(freq - budget) / budget < 0.1, (
+                    dataset, budget, freq,
+                )

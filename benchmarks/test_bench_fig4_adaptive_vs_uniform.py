@@ -1,0 +1,14 @@
+"""Fig. 4 bench — RMSE(h=0): adaptive vs uniform transmission."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig4
+
+
+def test_bench_fig4(benchmark, record_result):
+    result = run_once(benchmark, run_fig4, num_nodes=60, num_steps=1500)
+    record_result("fig4_adaptive_vs_uniform", result.format())
+    # Paper claim: adaptive <= uniform at every budget, zero at B = 1.
+    assert result.adaptive_wins() == 1.0
+    for (dataset, resource, method), values in result.rmse.items():
+        assert values[-1] < 1e-9  # B = 1.0 -> exact storage

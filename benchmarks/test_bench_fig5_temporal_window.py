@@ -1,0 +1,13 @@
+"""Fig. 5 bench — intermediate RMSE vs temporal clustering window."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig5
+
+
+def test_bench_fig5(benchmark, record_result):
+    result = run_once(benchmark, run_fig5, num_nodes=60, num_steps=800)
+    record_result("fig5_temporal_window", result.format())
+    # Paper claim: window length 1 gives the lowest intermediate RMSE.
+    for key in result.rmse:
+        assert result.best_window(*key) == 1, key

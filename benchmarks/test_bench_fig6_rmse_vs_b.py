@@ -1,0 +1,22 @@
+"""Fig. 6 bench — intermediate RMSE vs transmission budget per method."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_fig6
+
+
+def test_bench_fig6(benchmark, record_result):
+    result = run_once(benchmark, run_fig6, num_nodes=60, num_steps=700)
+    record_result("fig6_rmse_vs_b", result.format())
+    # Paper claims: proposed beats minimum-distance everywhere, and the
+    # curve flattens by B ~ 0.3 (little gain from higher budgets).
+    assert result.proposed_beats_minimum_distance() == 1.0
+    budgets = list(result.budgets)
+    b3 = budgets.index(0.3)
+    for (dataset, resource, method), values in result.rmse.items():
+        if method != "proposed":
+            continue
+        gain_after_03 = values[b3] - min(values[b3:])
+        total_range = max(values) - min(values) + 1e-12
+        assert gain_after_03 <= 0.5 * total_range, (dataset, resource)

@@ -1,0 +1,23 @@
+"""Fig. 7 bench — intermediate RMSE vs number of clusters K."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig7
+
+
+def test_bench_fig7(benchmark, record_result):
+    result = run_once(
+        benchmark, run_fig7, num_nodes=60, num_steps=600,
+        cluster_counts=(1, 2, 3, 5, 10, 20, 40),
+    )
+    record_result("fig7_rmse_vs_k", result.format())
+    for (dataset, resource, method), values in result.rmse.items():
+        # RMSE decreases with K for every method.
+        assert values[0] >= values[-1], (dataset, resource, method)
+        if method == "proposed":
+            # Paper claim: even K = N leaves residual error because the
+            # stored values are stale at B = 0.3.
+            assert values[-1] > 0.0
+            # Proposed dominates minimum-distance at each K.
+            other = result.rmse[(dataset, resource, "minimum_distance")]
+            assert all(p <= m + 1e-9 for p, m in zip(values, other))

@@ -1,0 +1,28 @@
+"""Fig. 8 bench — forecasted centroid trajectories track the truth."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_fig8
+
+
+def test_bench_fig8(benchmark, record_result):
+    result = run_once(
+        benchmark, run_fig8, num_nodes=60, num_steps=900,
+        start=300, retrain_interval=200,
+    )
+    lines = [result.format()]
+    # Also emit a short excerpt of the trajectories (the paper's plot).
+    for (model, cluster), predictions in sorted(result.forecasts.items()):
+        times = sorted(predictions)[:5]
+        excerpt = " ".join(
+            f"(t={t}, pred={predictions[t]:.3f}, "
+            f"true={result.centroids[t, cluster]:.3f})"
+            for t in times
+        )
+        lines.append(f"{model} cluster {cluster}: {excerpt}")
+    record_result("fig8_centroid_tracking", "\n".join(lines))
+    # Paper claim: forecasts follow the true centroids closely (h = 5).
+    spread = result.centroids.std()
+    for (model, cluster), mae in result.tracking_mae.items():
+        assert mae < max(0.1, spread), (model, cluster, mae)

@@ -1,0 +1,12 @@
+"""Table I bench — scalar (per-resource) vs full-vector clustering."""
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+
+
+def test_bench_table1(benchmark, record_result):
+    result = run_once(benchmark, run_table1, num_nodes=60, num_steps=800)
+    record_result("table1_scalar_vs_vector", result.format())
+    # Paper claim: scalar clustering wins every (resource, dataset) cell.
+    assert result.scalar_wins() == len(result.scalar)

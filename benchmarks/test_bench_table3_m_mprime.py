@@ -1,0 +1,32 @@
+"""Table III bench — RMSE over the (M, M') look-back grid."""
+
+from conftest import run_once
+
+from repro.experiments import run_table3
+
+
+def test_bench_table3(benchmark, record_result):
+    result = run_once(
+        benchmark, run_table3, num_nodes=60, num_steps=700, start=100,
+    )
+    record_result("table3_m_mprime", result.format())
+    # Paper claims, as reproducible on the synthetic traces (see
+    # EXPERIMENTS.md): (a) M = 1 is a consistently good choice at every
+    # horizon; (b) longer membership look-back M' becomes *relatively*
+    # less costly as the horizon grows (in the paper it eventually wins
+    # outright; our synthetic churn is permanent migration rather than
+    # oscillation, so the trend shows as a shrinking penalty).
+    for h in result.horizons:
+        best_m1 = min(result.rmse[(h, 1, mp)] for mp in result.m_prime_values)
+        best_any = min(
+            value for (hh, _m, _mp), value in result.rmse.items() if hh == h
+        )
+        assert best_m1 <= best_any + 0.01, h
+
+    def relative_penalty(h, mp):
+        base = result.rmse[(h, 1, 1)]
+        return (result.rmse[(h, 1, mp)] - base) / base
+
+    long_mp = max(result.m_prime_values)
+    penalties = [relative_penalty(h, long_mp) for h in result.horizons]
+    assert penalties[-1] <= penalties[0] + 1e-9, penalties

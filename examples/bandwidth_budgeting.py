@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Bandwidth budgeting: choose the transmission budget B for a deployment.
+
+The budget ``B`` is directly proportional to monitoring bandwidth
+(Sec. II of the paper).  This example uses the object-level simulation —
+real per-node policy objects, a transport channel with message/byte
+accounting, and the central store — to show the operator-facing
+trade-off: bytes on the wire vs staleness error, for both the adaptive
+Lyapunov policy and uniform sampling.
+
+Run:
+    python examples/bandwidth_budgeting.py
+"""
+
+import numpy as np
+
+from repro.core.config import TransmissionConfig
+from repro.core.metrics import instantaneous_rmse, time_averaged_rmse
+from repro.datasets import load_bitbrains_like
+from repro.simulation.collection import CollectionSimulation
+from repro.transmission.adaptive import AdaptiveTransmissionPolicy
+from repro.transmission.uniform import UniformTransmissionPolicy
+
+NUM_NODES = 50
+NUM_STEPS = 600
+BUDGETS = (0.05, 0.1, 0.2, 0.3, 0.5)
+
+
+def staleness_rmse(stored, truth):
+    return time_averaged_rmse(
+        instantaneous_rmse(stored[t, :, 0], truth[t])
+        for t in range(truth.shape[0])
+    )
+
+
+def main() -> None:
+    dataset = load_bitbrains_like(num_nodes=NUM_NODES, num_steps=NUM_STEPS)
+    cpu = dataset.resource("cpu")
+
+    print(f"{'B':>5}  {'policy':<9} {'messages':>9} {'KiB':>8} "
+          f"{'freq':>6} {'RMSE(h=0)':>10}")
+    for budget in BUDGETS:
+        for name, factory in (
+            ("adaptive", lambda i: AdaptiveTransmissionPolicy(
+                TransmissionConfig(budget=budget))),
+            ("uniform", lambda i: UniformTransmissionPolicy(
+                budget, phase=i / NUM_NODES)),
+        ):
+            sim = CollectionSimulation(NUM_NODES, factory)
+            result = sim.run(cpu)
+            kib = result.stats.payload_bytes() / 1024
+            print(f"{budget:>5.2f}  {name:<9} {result.stats.messages:>9d} "
+                  f"{kib:>8.1f} {result.empirical_frequency:>6.3f} "
+                  f"{staleness_rmse(result.stored, cpu):>10.4f}")
+    print("\nReading the table: pick the smallest B whose RMSE is "
+          "acceptable; adaptive gives a lower error at the same byte "
+          "budget.")
+
+
+if __name__ == "__main__":
+    main()

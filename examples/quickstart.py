@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: monitor and forecast a cluster with three lines of setup.
+
+Generates an Alibaba-like utilization trace, runs the full paper pipeline
+(adaptive transmission at budget B = 0.3 → dynamic K = 3 clustering →
+sample-and-hold forecasting with per-node offsets), and prints the
+time-averaged RMSE per forecast horizon.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import PipelineConfig, run_pipeline
+from repro.datasets import load_alibaba_like
+
+
+def main() -> None:
+    dataset = load_alibaba_like(num_nodes=60, num_steps=500)
+    cpu = dataset.resource("cpu")
+
+    config = PipelineConfig.small(
+        num_clusters=3,
+        budget=0.3,
+        max_horizon=5,
+        initial_collection=150,
+        retrain_interval=150,
+    )
+    result = run_pipeline(cpu, config)
+
+    print(f"dataset: {dataset.name}, {dataset.num_nodes} nodes, "
+          f"{dataset.num_steps} steps")
+    print(f"transmission frequency: {result.decisions.mean():.3f} "
+          f"(budget {config.transmission.budget})")
+    print(f"intermediate (clustering) RMSE: {result.intermediate_rmse:.4f}")
+    print("forecast RMSE by horizon:")
+    for horizon, rmse in sorted(result.rmse_by_horizon.items()):
+        label = "staleness only" if horizon == 0 else f"{horizon} steps ahead"
+        print(f"  h={horizon:<3d} {rmse:.4f}   ({label})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Run every experiment in the paper at a reduced scale and print results.
+
+Iterates the experiment registry (one entry per table/figure of the
+paper) with small node/step counts so the whole sweep finishes in a few
+minutes on a laptop.  For full-scale runs use the benchmark harness:
+
+    pytest benchmarks/ --benchmark-only -s
+
+Run:
+    python examples/reproduce_paper.py [experiment-id ...]
+"""
+
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+#: Reduced-scale overrides per experiment (empty dict = defaults).
+SMALL = {
+    "fig1": dict(num_nodes=30, num_steps=500, cluster_nodes=40),
+    "fig3": dict(num_nodes=30, num_steps=600),
+    "fig4": dict(num_nodes=30, num_steps=500, budgets=(0.1, 0.3, 0.5, 1.0)),
+    "fig5": dict(num_nodes=30, num_steps=300, windows=(1, 5, 10)),
+    "table1": dict(num_nodes=30, num_steps=300),
+    "fig6": dict(num_nodes=30, num_steps=300, budgets=(0.1, 0.3, 0.5),
+                 resources=("cpu",)),
+    "fig7": dict(num_nodes=30, num_steps=300,
+                 cluster_counts=(1, 2, 3, 5, 10), resources=("cpu",)),
+    "fig8": dict(num_nodes=30, num_steps=450, start=150,
+                 retrain_interval=150),
+    "fig9": dict(num_nodes=30, num_steps=400, horizons=(1, 5, 10),
+                 initial_collection=150, retrain_interval=150),
+    "fig10": dict(num_nodes=50, num_steps=400, horizons=(1, 5, 10),
+                  start=80),
+    "table2": dict(num_nodes=20, num_steps=500, initial_collection=200,
+                   retrain_interval=150, lstm_epochs=15),
+    "table3": dict(num_nodes=40, num_steps=400, start=80),
+    "fig11": dict(num_nodes=40, num_steps=400, horizons=(1, 5, 10),
+                  start=80),
+    "fig12": dict(num_nodes=60, train_steps=300, test_steps=300,
+                  monitor_counts=(10, 20, 40)),
+}
+
+
+def main() -> None:
+    requested = sys.argv[1:] or list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}")
+        print(f"available: {sorted(EXPERIMENTS)}")
+        raise SystemExit(1)
+    for name in requested:
+        runner = EXPERIMENTS[name]
+        kwargs = SMALL.get(name, {})
+        print(f"\n{'=' * 60}\n{name}  (scaled-down: {kwargs})\n{'=' * 60}")
+        started = time.perf_counter()
+        result = runner(**kwargs)
+        elapsed = time.perf_counter() - started
+        print(result.format())
+        print(f"[{name} finished in {elapsed:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

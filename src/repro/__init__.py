@@ -1,0 +1,66 @@
+"""repro — Online collection and forecasting of resource utilization.
+
+A from-scratch reproduction of Tuor, Wang, Leung, Ko, *Online Collection
+and Forecasting of Resource Utilization in Large-Scale Distributed
+Systems* (ICDCS 2019).  The library provides:
+
+* an adaptive Lyapunov drift-plus-penalty transmission policy that keeps
+  each node's transmission frequency under a budget B (Sec. V-A);
+* dynamic K-means clustering with Hungarian-matching re-indexing so
+  cluster identities persist over time (Sec. V-B);
+* per-cluster temporal forecasting (ARIMA / LSTM / sample-and-hold) with
+  majority-vote membership forecasting and α-clipped per-node offsets
+  (Sec. V-C);
+* the evaluation substrate: synthetic stand-ins for the Alibaba,
+  Bitbrains, Google and Intel-lab traces, the Gaussian monitor-selection
+  baselines of Silvestri et al. (ICDCS 2015), metrics, and one
+  experiment module per table/figure of the paper.
+
+Quickstart::
+
+    from repro import run_pipeline, PipelineConfig
+    from repro.datasets import load_alibaba_like
+
+    dataset = load_alibaba_like(num_nodes=50, num_steps=400)
+    result = run_pipeline(
+        dataset.resource("cpu"), PipelineConfig.small()
+    )
+    print(result.rmse_by_horizon)
+"""
+
+from repro.core import (
+    ClusteringConfig,
+    ForecastingConfig,
+    OnlinePipeline,
+    PipelineConfig,
+    PipelineResult,
+    TransmissionConfig,
+    run_pipeline,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    DataError,
+    NotFittedError,
+    ReproError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusteringConfig",
+    "ForecastingConfig",
+    "OnlinePipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "TransmissionConfig",
+    "run_pipeline",
+    "ConfigurationError",
+    "ConvergenceError",
+    "DataError",
+    "NotFittedError",
+    "ReproError",
+    "SimulationError",
+    "__version__",
+]

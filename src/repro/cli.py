@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — show the experiment registry (one entry per table/figure).
+* ``run <experiment> [...]`` — run one or more experiments and print
+  their formatted results, with ``--nodes/--steps`` scale overrides.
+* ``demo`` — run the quickstart pipeline on a synthetic trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import run_pipeline
+from repro.datasets import load_alibaba_like
+from repro.experiments import EXPERIMENTS
+
+#: Parameter names accepted by every experiment runner for scaling.
+_SCALE_KEYS = ("num_nodes", "num_steps")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Online Collection and Forecasting of "
+            "Resource Utilization in Large-Scale Distributed Systems' "
+            "(Tuor et al., ICDCS 2019)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    commands.add_parser("list", help="list available experiments")
+
+    run_parser = commands.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments", nargs="+",
+        help=f"experiment ids (from: {', '.join(sorted(EXPERIMENTS))})",
+    )
+    run_parser.add_argument(
+        "--nodes", type=int, default=None,
+        help="override the number of simulated machines",
+    )
+    run_parser.add_argument(
+        "--steps", type=int, default=None,
+        help="override the number of time slots",
+    )
+
+    demo_parser = commands.add_parser(
+        "demo", help="run the quickstart pipeline"
+    )
+    demo_parser.add_argument("--nodes", type=int, default=60)
+    demo_parser.add_argument("--steps", type=int, default=500)
+    demo_parser.add_argument("--budget", type=float, default=0.3)
+    demo_parser.add_argument("--clusters", type=int, default=3)
+    return parser
+
+
+def _command_list() -> int:
+    print("experiments (paper artifact -> runner):")
+    for name in EXPERIMENTS:
+        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"  {name:<22} {summary}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    unknown = [e for e in args.experiments if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    for name in args.experiments:
+        runner = EXPERIMENTS[name]
+        kwargs = {}
+        if args.nodes is not None:
+            kwargs["num_nodes"] = args.nodes
+        if args.steps is not None:
+            kwargs["num_steps"] = args.steps
+        # Drop overrides the runner does not accept (e.g. fig12 uses
+        # train_steps/test_steps instead of num_steps).
+        accepted = runner.__code__.co_varnames[: runner.__code__.co_argcount]
+        all_names = set(accepted) | set(
+            runner.__code__.co_varnames[
+                : runner.__code__.co_argcount + runner.__code__.co_kwonlyargcount
+            ]
+        )
+        kwargs = {k: v for k, v in kwargs.items() if k in all_names}
+        print(f"== {name} {kwargs or ''}")
+        started = time.perf_counter()
+        result = runner(**kwargs)
+        elapsed = time.perf_counter() - started
+        print(result.format())
+        print(f"[{elapsed:.1f}s]\n")
+    return 0
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    dataset = load_alibaba_like(num_nodes=args.nodes, num_steps=args.steps)
+    config = PipelineConfig.small(
+        num_clusters=args.clusters,
+        budget=args.budget,
+        initial_collection=max(50, args.steps // 4),
+        retrain_interval=max(50, args.steps // 4),
+    )
+    result = run_pipeline(dataset.resource("cpu"), config)
+    print(f"dataset: {dataset.name} ({args.nodes} nodes, {args.steps} steps)")
+    print(f"transmission frequency: {result.decisions.mean():.3f}")
+    print(f"intermediate RMSE: {result.intermediate_rmse:.4f}")
+    for horizon, rmse in sorted(result.rmse_by_horizon.items()):
+        print(f"  RMSE(h={horizon}) = {rmse:.4f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "demo":
+        return _command_demo(args)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

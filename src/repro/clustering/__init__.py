@@ -1,0 +1,39 @@
+"""Clustering substrate: K-means, matching, and dynamic cluster tracking.
+
+Implements Sec. V-B of the paper plus the clustering baselines used in
+the evaluation (static offline clustering and random minimum-distance
+clustering).
+"""
+
+from repro.clustering.dynamic import DynamicClusterTracker
+from repro.clustering.kmeans import KMeansResult, kmeans, kmeans_plus_plus_init
+from repro.clustering.matching import (
+    assignment_total,
+    maximum_weight_assignment,
+    minimum_cost_assignment,
+)
+from repro.clustering.minimum_distance import MinimumDistanceClustering
+from repro.clustering.similarity import (
+    intersection_similarity_matrix,
+    jaccard_similarity_matrix,
+    similarity_matrix,
+)
+from repro.clustering.static import StaticClustering
+from repro.clustering.windowing import WindowedFeatureBuilder, windowed_features
+
+__all__ = [
+    "DynamicClusterTracker",
+    "KMeansResult",
+    "kmeans",
+    "kmeans_plus_plus_init",
+    "assignment_total",
+    "maximum_weight_assignment",
+    "minimum_cost_assignment",
+    "MinimumDistanceClustering",
+    "intersection_similarity_matrix",
+    "jaccard_similarity_matrix",
+    "similarity_matrix",
+    "StaticClustering",
+    "WindowedFeatureBuilder",
+    "windowed_features",
+]

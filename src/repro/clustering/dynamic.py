@@ -1,0 +1,220 @@
+"""Dynamic cluster construction over time (Sec. V-B).
+
+At every time slot the central node:
+
+1. runs K-means on the currently stored measurements ``z_t``;
+2. re-indexes the resulting clusters against the previous ``M`` partitions
+   by solving a maximum-weight bipartite matching on the similarity
+   measure (Eq. 10–11), so cluster ``j``'s identity persists over time;
+3. records the re-indexed partition and centroids, forming one time series
+   of centroids per cluster — the input to the forecasting stage.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.clustering.kmeans import kmeans
+from repro.clustering.matching import maximum_weight_assignment
+from repro.clustering.similarity import similarity_matrix
+from repro.core.types import ClusterAssignment
+from repro.exceptions import ConfigurationError, DataError
+
+
+class DynamicClusterTracker:
+    """Tracks an evolving K-cluster partition of node measurements.
+
+    Args:
+        num_clusters: Number of clusters K.
+        history_depth: Look-back ``M`` of the similarity measure.
+        similarity: ``"intersection"`` (paper, Eq. 10) or ``"jaccard"``.
+        restarts: K-means++ restarts per step.
+        seed: Seed of the internal RNG (reproducible clustering).
+        warm_start: When True, seed each step's K-means with the previous
+            step's centroids (a natural speed optimization for slowly
+            moving data).  The paper does not specify this; default off.
+    """
+
+    def __init__(
+        self,
+        num_clusters: int,
+        *,
+        history_depth: int = 1,
+        similarity: str = "intersection",
+        restarts: int = 3,
+        seed: Optional[int] = None,
+        warm_start: bool = False,
+    ) -> None:
+        if num_clusters < 1:
+            raise ConfigurationError(
+                f"num_clusters must be >= 1, got {num_clusters}"
+            )
+        if history_depth < 1:
+            raise ConfigurationError(
+                f"history_depth must be >= 1, got {history_depth}"
+            )
+        self.num_clusters = num_clusters
+        self.history_depth = history_depth
+        self.similarity = similarity
+        self.restarts = restarts
+        self.warm_start = warm_start
+        self._rng = np.random.default_rng(seed)
+        self._partition_history: Deque[List[Set[int]]] = deque(
+            maxlen=history_depth
+        )
+        self._previous_centroids: Optional[np.ndarray] = None
+        self._centroid_history: List[np.ndarray] = []
+        self._assignments: List[ClusterAssignment] = []
+        self._time = 0
+
+    @property
+    def time(self) -> int:
+        """Number of updates performed so far."""
+        return self._time
+
+    @property
+    def assignments(self) -> Sequence[ClusterAssignment]:
+        """All re-indexed assignments so far, oldest first."""
+        return self._assignments
+
+    def centroid_series(self, cluster: int) -> np.ndarray:
+        """Time series of centroids for ``cluster``, shape ``(t, d)``."""
+        if cluster < 0 or cluster >= self.num_clusters:
+            raise ConfigurationError(
+                f"cluster {cluster} outside [0, {self.num_clusters})"
+            )
+        if not self._centroid_history:
+            return np.empty((0, 0))
+        return np.stack([c[cluster] for c in self._centroid_history])
+
+    def update(
+        self,
+        values: np.ndarray,
+        features: Optional[np.ndarray] = None,
+    ) -> ClusterAssignment:
+        """Cluster one time slot of stored measurements.
+
+        Args:
+            values: Shape ``(N, d)`` (or ``(N,)``) — the measurements
+                ``z_t`` used to compute the reported centroids.
+            features: Optional shape ``(N, f)`` feature matrix to run
+                K-means on instead of ``values`` (used for temporal-window
+                clustering, Fig. 5).  Reported centroids are always means
+                of ``values`` so different feature choices stay comparable.
+
+        Returns:
+            The re-indexed :class:`ClusterAssignment` for this slot.
+        """
+        data = np.asarray(values, dtype=float)
+        if data.ndim == 1:
+            data = data[:, np.newaxis]
+        if data.ndim != 2:
+            raise DataError(f"values must be (N, d), got shape {data.shape}")
+        feats = data if features is None else np.asarray(features, dtype=float)
+        if feats.ndim == 1:
+            feats = feats[:, np.newaxis]
+        if feats.shape[0] != data.shape[0]:
+            raise DataError(
+                f"features rows {feats.shape[0]} != values rows {data.shape[0]}"
+            )
+
+        if self.num_clusters >= data.shape[0]:
+            # Degenerate K = N case (each node its own cluster, used by
+            # the paper's sample-and-hold-per-node comparison): identity
+            # labels are already maximally persistent, so K-means and
+            # re-indexing are skipped.
+            return self._identity_update(data)
+
+        initial = None
+        if (
+            self.warm_start
+            and self._previous_centroids is not None
+            and features is None
+        ):
+            initial = self._previous_centroids
+        result = kmeans(
+            feats,
+            self.num_clusters,
+            restarts=self.restarts,
+            rng=self._rng,
+            initial_centroids=initial,
+        )
+        labels = result.labels
+
+        if self._partition_history:
+            labels = self._reindex(labels)
+        centroids = self._value_centroids(data, labels)
+
+        partition = [
+            set(np.flatnonzero(labels == j).tolist())
+            for j in range(self.num_clusters)
+        ]
+        self._partition_history.append(partition)
+        self._centroid_history.append(centroids)
+        if features is None:
+            self._previous_centroids = centroids
+        assignment = ClusterAssignment(
+            time=self._time, labels=labels, centroids=centroids
+        )
+        self._assignments.append(assignment)
+        self._time += 1
+        return assignment
+
+    def _identity_update(self, data: np.ndarray) -> ClusterAssignment:
+        """K >= N: node i forms cluster i; extra clusters stay empty."""
+        num_nodes = data.shape[0]
+        labels = np.arange(num_nodes)
+        if self.num_clusters == num_nodes:
+            centroids = data.copy()
+        else:
+            centroids = self._value_centroids(data, labels)
+        partition = [
+            set(np.flatnonzero(labels == j).tolist())
+            for j in range(self.num_clusters)
+        ]
+        self._partition_history.append(partition)
+        self._centroid_history.append(centroids)
+        self._previous_centroids = centroids
+        assignment = ClusterAssignment(
+            time=self._time, labels=labels, centroids=centroids
+        )
+        self._assignments.append(assignment)
+        self._time += 1
+        return assignment
+
+    def _reindex(self, labels: np.ndarray) -> np.ndarray:
+        """Re-map raw K-means labels onto persistent historical indices."""
+        new_clusters = [
+            set(np.flatnonzero(labels == k).tolist())
+            for k in range(self.num_clusters)
+        ]
+        weights = similarity_matrix(
+            self.similarity, new_clusters, list(self._partition_history)
+        )
+        phi = maximum_weight_assignment(weights)
+        remapped = np.empty_like(labels)
+        for k in range(self.num_clusters):
+            remapped[labels == k] = phi[k]
+        return remapped
+
+    def _value_centroids(
+        self, values: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Mean of ``values`` per cluster; empty clusters keep the previous
+        centroid (or the global mean on the first step)."""
+        dim = values.shape[1]
+        centroids = np.zeros((self.num_clusters, dim))
+        for j in range(self.num_clusters):
+            members = labels == j
+            if members.any():
+                centroids[j] = values[members].mean(axis=0)
+            elif self._previous_centroids is not None and (
+                self._previous_centroids.shape[1] == dim
+            ):
+                centroids[j] = self._previous_centroids[j]
+            else:
+                centroids[j] = values.mean(axis=0)
+        return centroids

@@ -1,0 +1,73 @@
+"""Minimum-distance (random-centroid) baseline (Sec. VI-C2).
+
+At every time slot, K nodes are selected uniformly at random; their
+measurements act as "centroids" and every other node is mapped to the
+nearest selected node by Euclidean distance.  This models the behaviour
+of compressed-sensing-style approaches that pick monitoring nodes at
+random ([6]–[10] in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.types import ClusterAssignment
+from repro.exceptions import ConfigurationError, DataError
+
+
+class MinimumDistanceClustering:
+    """Random-representative clustering, re-drawn every slot.
+
+    Args:
+        num_clusters: Number of representatives K drawn per slot.
+        seed: RNG seed for representative selection.
+    """
+
+    def __init__(self, num_clusters: int, *, seed: Optional[int] = None) -> None:
+        if num_clusters < 1:
+            raise ConfigurationError(
+                f"num_clusters must be >= 1, got {num_clusters}"
+            )
+        self.num_clusters = num_clusters
+        self._rng = np.random.default_rng(seed)
+        self._time = 0
+
+    def update(self, values: np.ndarray) -> ClusterAssignment:
+        """Cluster one slot of measurements around K random nodes.
+
+        Args:
+            values: Shape ``(N, d)`` or ``(N,)`` stored measurements.
+
+        Returns:
+            Assignment whose centroid ``j`` is the measurement of the j-th
+            randomly selected representative node.
+        """
+        data = np.asarray(values, dtype=float)
+        if data.ndim == 1:
+            data = data[:, np.newaxis]
+        if data.ndim != 2:
+            raise DataError(f"values must be (N, d), got shape {data.shape}")
+        num_nodes = data.shape[0]
+        if self.num_clusters > num_nodes:
+            raise ConfigurationError(
+                f"num_clusters={self.num_clusters} exceeds N={num_nodes}"
+            )
+        representatives = self._rng.choice(
+            num_nodes, size=self.num_clusters, replace=False
+        )
+        centroids = data[representatives]
+        diff = data[:, np.newaxis, :] - centroids[np.newaxis, :, :]
+        sq = np.einsum("nkd,nkd->nk", diff, diff)
+        labels = np.argmin(sq, axis=1)
+        # Representatives always belong to their own cluster (distance 0,
+        # argmin picks the first zero which is themselves unless duplicates
+        # exist; force it for determinism).
+        for j, rep in enumerate(representatives):
+            labels[rep] = j
+        assignment = ClusterAssignment(
+            time=self._time, labels=labels, centroids=centroids
+        )
+        self._time += 1
+        return assignment

@@ -1,0 +1,106 @@
+"""Cluster-similarity measures used for re-indexing (Sec. V-B, Fig. 11).
+
+The paper's measure (Eq. 10) counts the nodes that appear simultaneously
+in a new K-means cluster and in the same historical cluster index across
+the last ``M`` steps:
+
+    w_{k,j} = | C'_{k,t} ∩ ⋂_{m=1..min(M, t−1)} C_{j,t−m} |
+
+A normalized Jaccard-index variant (used by Greene et al. for community
+matching, and compared against in Fig. 11) is also provided.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+
+
+def history_intersection(history: Sequence[Sequence[Set[int]]], cluster: int) -> Set[int]:
+    """Intersect cluster ``cluster`` across all partitions in ``history``.
+
+    Args:
+        history: The most recent partitions, ordered oldest → newest; each
+            partition is a sequence of node-id sets indexed by cluster id.
+        cluster: Historical cluster index ``j``.
+
+    Returns:
+        ``⋂_m history[m][cluster]`` — nodes that stayed in cluster ``j``
+        through every remembered step.
+    """
+    if not history:
+        raise DataError("history must contain at least one partition")
+    result = set(history[0][cluster])
+    for partition in history[1:]:
+        result &= partition[cluster]
+    return result
+
+
+def intersection_similarity_matrix(
+    new_clusters: Sequence[Set[int]],
+    history: Sequence[Sequence[Set[int]]],
+) -> np.ndarray:
+    """Build the paper's similarity matrix ``w`` (Eq. 10).
+
+    Args:
+        new_clusters: The K clusters from this step's K-means run,
+            indexed by ``k``.
+        history: Up to ``M`` previous (re-indexed) partitions, oldest
+            first; each partition is indexed by the historical id ``j``.
+
+    Returns:
+        Matrix of shape ``(K, K)`` with ``w[k, j]``.
+    """
+    num_clusters = len(new_clusters)
+    if any(len(p) != num_clusters for p in history):
+        raise DataError("all partitions must have the same number of clusters")
+    weights = np.zeros((num_clusters, num_clusters))
+    persistent = [
+        history_intersection(history, j) for j in range(num_clusters)
+    ]
+    for k, new in enumerate(new_clusters):
+        new_set = set(new)
+        for j in range(num_clusters):
+            weights[k, j] = len(new_set & persistent[j])
+    return weights
+
+
+def jaccard_similarity_matrix(
+    new_clusters: Sequence[Set[int]],
+    history: Sequence[Sequence[Set[int]]],
+) -> np.ndarray:
+    """Jaccard-index similarity matrix (the Fig. 11 alternative).
+
+    ``w[k, j] = |C'_k ∩ P_j| / |C'_k ∪ P_j|`` where ``P_j`` is the
+    intersection of historical cluster ``j`` over the remembered steps.
+    """
+    num_clusters = len(new_clusters)
+    if any(len(p) != num_clusters for p in history):
+        raise DataError("all partitions must have the same number of clusters")
+    weights = np.zeros((num_clusters, num_clusters))
+    persistent = [
+        history_intersection(history, j) for j in range(num_clusters)
+    ]
+    for k, new in enumerate(new_clusters):
+        new_set = set(new)
+        for j in range(num_clusters):
+            union = new_set | persistent[j]
+            if union:
+                weights[k, j] = len(new_set & persistent[j]) / len(union)
+    return weights
+
+
+def similarity_matrix(
+    kind: str,
+    new_clusters: Sequence[Set[int]],
+    history: Sequence[Sequence[Set[int]]],
+) -> np.ndarray:
+    """Dispatch on the similarity kind (``"intersection"`` or ``"jaccard"``)."""
+    if kind == "intersection":
+        return intersection_similarity_matrix(new_clusters, history)
+    if kind == "jaccard":
+        return jaccard_similarity_matrix(new_clusters, history)
+    raise ConfigurationError(f"unknown similarity kind {kind!r}")

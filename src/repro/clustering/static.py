@@ -1,0 +1,91 @@
+"""Offline static-clustering baseline (Sec. VI-C2).
+
+Nodes are grouped once, using the *entire* time series at each node as a
+feature vector (which presumes knowledge of the future — the paper flags
+this baseline as offline and therefore not practical).  The partition is
+then fixed for all time slots; per-slot centroids are means of the stored
+measurements within each fixed group.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.clustering.kmeans import kmeans
+from repro.core.types import ClusterAssignment
+from repro.exceptions import DataError, NotFittedError
+
+
+class StaticClustering:
+    """K-means on full per-node time series, fixed thereafter.
+
+    Args:
+        num_clusters: Number of clusters K.
+        restarts: K-means++ restarts for the single offline fit.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        num_clusters: int,
+        *,
+        restarts: int = 3,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.num_clusters = num_clusters
+        self.restarts = restarts
+        self._rng = np.random.default_rng(seed)
+        self._labels: Optional[np.ndarray] = None
+
+    @property
+    def labels(self) -> np.ndarray:
+        if self._labels is None:
+            raise NotFittedError("StaticClustering.fit has not been called")
+        return self._labels
+
+    def fit(self, trace: np.ndarray) -> "StaticClustering":
+        """Fit the fixed partition from the full trace.
+
+        Args:
+            trace: Shape ``(T, N)`` or ``(T, N, d)``; each node's feature
+                vector is its flattened full time series.
+        """
+        arr = np.asarray(trace, dtype=float)
+        if arr.ndim == 2:
+            arr = arr[:, :, np.newaxis]
+        if arr.ndim != 3:
+            raise DataError(f"trace must be (T, N[, d]), got {arr.shape}")
+        num_nodes = arr.shape[1]
+        features = arr.transpose(1, 0, 2).reshape(num_nodes, -1)
+        result = kmeans(
+            features, self.num_clusters, restarts=self.restarts, rng=self._rng
+        )
+        self._labels = result.labels
+        return self
+
+    def assign(self, values: np.ndarray, time: int = 0) -> ClusterAssignment:
+        """Produce the (fixed) assignment with centroids from ``values``.
+
+        Args:
+            values: Shape ``(N, d)`` or ``(N,)`` stored measurements at one
+                slot.
+            time: Slot index recorded on the assignment.
+        """
+        labels = self.labels
+        data = np.asarray(values, dtype=float)
+        if data.ndim == 1:
+            data = data[:, np.newaxis]
+        if data.shape[0] != labels.shape[0]:
+            raise DataError(
+                f"{data.shape[0]} values for {labels.shape[0]} fitted nodes"
+            )
+        centroids = np.zeros((self.num_clusters, data.shape[1]))
+        for j in range(self.num_clusters):
+            members = labels == j
+            if members.any():
+                centroids[j] = data[members].mean(axis=0)
+            else:
+                centroids[j] = data.mean(axis=0)
+        return ClusterAssignment(time=time, labels=labels, centroids=centroids)

@@ -1,0 +1,220 @@
+"""Configuration dataclasses with the paper's default parameters.
+
+Defaults follow Sec. VI-A2 of the paper: transmission budget ``B = 0.3``,
+Lyapunov control parameters ``V0 = 1e-12`` and ``γ = 0.65``, ``K = 3``
+clusters, similarity look-back ``M = 1``, forecasting look-back
+``M' = 5``, scalar (per-resource-type) clustering, initial data-collection
+phase of 1000 steps, and model retraining every 288 steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TransmissionConfig:
+    """Parameters of the adaptive transmission algorithm (Sec. V-A).
+
+    Attributes:
+        budget: Maximum long-run transmission frequency ``B`` in (0, 1].
+        v0: Initial trade-off weight ``V0`` in ``V_t = V0 * (t+1)**gamma``.
+            The paper states ``V0 = 1e-12``, but on measurements
+            normalized to [0, 1] that makes the penalty term ``V_t·F``
+            (≤ ~1e-9) unable to ever compete with the queue term (quantum
+            ``B``), degenerating the policy to periodic transmission.  We
+            default to ``V0 = 1.0``, calibrated so the drift/penalty
+            trade-off is active at this data scale while the empirical
+            frequency still tracks ``B`` tightly (see DESIGN.md §3).
+        gamma: Growth exponent ``γ`` in (0, 1) (paper: 0.65).
+    """
+
+    budget: float = 0.3
+    v0: float = 1.0
+    gamma: float = 0.65
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.budget <= 1.0:
+            raise ConfigurationError(f"budget must be in (0, 1], got {self.budget}")
+        if self.v0 <= 0:
+            raise ConfigurationError(f"v0 must be positive, got {self.v0}")
+        if not 0.0 < self.gamma < 1.0:
+            raise ConfigurationError(f"gamma must be in (0, 1), got {self.gamma}")
+
+
+@dataclass(frozen=True)
+class ClusteringConfig:
+    """Parameters of the dynamic clustering algorithm (Sec. V-B).
+
+    Attributes:
+        num_clusters: Number of clusters ``K`` (= number of forecast models).
+        history_depth: Look-back ``M`` in the similarity measure (Eq. 10).
+        similarity: ``"intersection"`` for the paper's measure, ``"jaccard"``
+            for the normalized Jaccard-index alternative (Fig. 11).
+        window: Temporal clustering window length (Fig. 5); 1 means
+            clustering on single-time-step measurements (the paper's best).
+        scalar_per_resource: If True, cluster each resource type
+            independently on scalar values (Table I's winner); if False,
+            cluster the full d-dimensional vectors jointly.
+        kmeans_restarts: Number of k-means++ restarts per step.
+        seed: Seed for the clustering RNG.
+    """
+
+    num_clusters: int = 3
+    history_depth: int = 1
+    similarity: str = "intersection"
+    window: int = 1
+    scalar_per_resource: bool = True
+    kmeans_restarts: int = 3
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_clusters < 1:
+            raise ConfigurationError(
+                f"num_clusters must be >= 1, got {self.num_clusters}"
+            )
+        if self.history_depth < 1:
+            raise ConfigurationError(
+                f"history_depth (M) must be >= 1, got {self.history_depth}"
+            )
+        if self.similarity not in ("intersection", "jaccard"):
+            raise ConfigurationError(
+                f"similarity must be 'intersection' or 'jaccard', got "
+                f"{self.similarity!r}"
+            )
+        if self.window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {self.window}")
+        if self.kmeans_restarts < 1:
+            raise ConfigurationError(
+                f"kmeans_restarts must be >= 1, got {self.kmeans_restarts}"
+            )
+
+
+@dataclass(frozen=True)
+class ForecastingConfig:
+    """Parameters of the temporal forecasting stage (Sec. V-C, VI-A3).
+
+    Attributes:
+        model: One of ``"arima"``, ``"lstm"``, ``"sample_hold"``,
+            ``"ses"`` (simple exponential smoothing), ``"holt"``,
+            ``"holt_winters"``, or ``"ar"`` (Yule–Walker AR).  The paper
+            evaluates the first three; the rest are the "etc." of
+            Sec. V-C.
+        membership_lookback: Look-back ``M'`` for forecasting cluster
+            membership and computing per-node offsets (Eq. 12).
+        initial_collection: Number of initial steps with no forecasting
+            model (paper: 1000).
+        retrain_interval: Steps between model retrainings (paper: 288).
+        max_horizon: Largest forecasting step ``H``.
+        arima_max_p, arima_max_d, arima_max_q: Non-seasonal grid bounds.
+        arima_max_P, arima_max_D, arima_max_Q: Seasonal grid bounds.
+        arima_seasonal_period: Season length ``s`` (0 disables the seasonal
+            component entirely).
+        lstm_hidden: Hidden units per LSTM layer.
+        lstm_lookback: Input window length for the LSTM.
+        lstm_epochs: Training epochs per (re)training.
+        hw_period: Season length for the Holt–Winters model.
+        ar_order: Order p for the Yule–Walker AR model.
+        seed: Seed for stochastic models (LSTM initialization).
+    """
+
+    model: str = "sample_hold"
+    membership_lookback: int = 5
+    initial_collection: int = 1000
+    retrain_interval: int = 288
+    max_horizon: int = 5
+    arima_max_p: int = 5
+    arima_max_d: int = 2
+    arima_max_q: int = 5
+    arima_max_P: int = 2
+    arima_max_D: int = 1
+    arima_max_Q: int = 2
+    arima_seasonal_period: int = 0
+    lstm_hidden: int = 32
+    lstm_lookback: int = 16
+    lstm_epochs: int = 20
+    hw_period: int = 288
+    ar_order: int = 2
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        valid_models = (
+            "arima", "lstm", "sample_hold", "ses", "holt",
+            "holt_winters", "ar",
+        )
+        if self.model not in valid_models:
+            raise ConfigurationError(
+                f"model must be one of {valid_models}, got {self.model!r}"
+            )
+        if self.membership_lookback < 1:
+            raise ConfigurationError(
+                f"membership_lookback (M') must be >= 1, got "
+                f"{self.membership_lookback}"
+            )
+        if self.initial_collection < 1:
+            raise ConfigurationError(
+                "initial_collection must be >= 1, got "
+                f"{self.initial_collection}"
+            )
+        if self.retrain_interval < 1:
+            raise ConfigurationError(
+                f"retrain_interval must be >= 1, got {self.retrain_interval}"
+            )
+        if self.max_horizon < 1:
+            raise ConfigurationError(
+                f"max_horizon must be >= 1, got {self.max_horizon}"
+            )
+        for name in (
+            "arima_max_p",
+            "arima_max_d",
+            "arima_max_q",
+            "arima_max_P",
+            "arima_max_D",
+            "arima_max_Q",
+            "arima_seasonal_period",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        if self.lstm_hidden < 1 or self.lstm_lookback < 1 or self.lstm_epochs < 1:
+            raise ConfigurationError("LSTM parameters must be >= 1")
+        if self.hw_period < 2:
+            raise ConfigurationError("hw_period must be >= 2")
+        if self.ar_order < 1:
+            raise ConfigurationError("ar_order must be >= 1")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Top-level configuration bundling the three stages."""
+
+    transmission: TransmissionConfig = field(default_factory=TransmissionConfig)
+    clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
+    forecasting: ForecastingConfig = field(default_factory=ForecastingConfig)
+
+    @staticmethod
+    def paper_defaults() -> "PipelineConfig":
+        """The exact default parameterization of Sec. VI-A2."""
+        return PipelineConfig()
+
+    @staticmethod
+    def small(
+        num_clusters: int = 3,
+        budget: float = 0.3,
+        max_horizon: int = 5,
+        initial_collection: int = 50,
+        retrain_interval: int = 50,
+    ) -> "PipelineConfig":
+        """A scaled-down configuration suitable for tests and CI benches."""
+        return PipelineConfig(
+            transmission=TransmissionConfig(budget=budget),
+            clustering=ClusteringConfig(num_clusters=num_clusters, seed=0),
+            forecasting=ForecastingConfig(
+                max_horizon=max_horizon,
+                initial_collection=initial_collection,
+                retrain_interval=retrain_interval,
+                seed=0,
+            ),
+        )

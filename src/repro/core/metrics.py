@@ -1,0 +1,131 @@
+"""Error metrics from Sec. IV of the paper.
+
+The paper defines three related quantities:
+
+* ``RMSE(t, h)`` (Eq. 3): instantaneous root-mean-square error of the
+  per-node estimates ``x̂_{i,t+h}`` against the true values ``x_{i,t+h}``,
+  averaged over nodes.
+* ``RMSE(T, h)`` (Eq. 4): the time-average of the squared instantaneous
+  errors over ``T`` steps, square-rooted afterwards.
+* The *intermediate RMSE* (Sec. VI-C): the same computation where the
+  per-node estimate is the centroid of the node's cluster with no per-node
+  offset — it measures pure clustering quality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+def instantaneous_rmse(estimates: np.ndarray, truth: np.ndarray) -> float:
+    """Compute ``RMSE(t, h)`` per Eq. 3.
+
+    Args:
+        estimates: Array of shape ``(N, d)`` (or ``(N,)`` for ``d = 1``)
+            holding ``x̂_{i,t+h}`` for every node ``i``.
+        truth: Array of the same shape holding the true ``x_{i,t+h}``.
+
+    Returns:
+        ``sqrt((1/N) * sum_i ||x̂_i − x_i||²)``.
+    """
+    est = np.atleast_2d(np.asarray(estimates, dtype=float))
+    tru = np.atleast_2d(np.asarray(truth, dtype=float))
+    if est.shape != tru.shape:
+        raise DataError(
+            f"estimate shape {est.shape} != truth shape {tru.shape}"
+        )
+    if est.ndim == 2 and est.shape[0] == 1 and est.shape[1] > 1:
+        # np.atleast_2d turned an (N,) vector into (1, N); treat each entry
+        # as a scalar-valued node measurement.
+        est = est.T
+        tru = tru.T
+    num_nodes = est.shape[0]
+    sq = np.sum((est - tru) ** 2, axis=tuple(range(1, est.ndim)))
+    return float(np.sqrt(np.sum(sq) / num_nodes))
+
+
+def time_averaged_rmse(instantaneous: Iterable[float]) -> float:
+    """Compute ``RMSE(T, h)`` per Eq. 4 from instantaneous RMSE values.
+
+    The average is taken over the *squared* errors, then square-rooted —
+    note this differs from the mean of the RMSE values themselves.
+    """
+    values = np.asarray(list(instantaneous), dtype=float)
+    if values.size == 0:
+        raise DataError("need at least one instantaneous RMSE value")
+    return float(np.sqrt(np.mean(values**2)))
+
+
+def horizon_averaged_rmse(per_horizon: Sequence[float]) -> float:
+    """Average RMSE across forecast horizons, per the objective in Eq. 5.
+
+    Args:
+        per_horizon: ``RMSE(T, h)`` for each ``h`` in ``0..H``.
+    """
+    values = np.asarray(per_horizon, dtype=float)
+    if values.size == 0:
+        raise DataError("need at least one per-horizon RMSE value")
+    return float(np.sqrt(np.mean(values**2)))
+
+
+def intermediate_rmse(
+    measurements: np.ndarray, labels: np.ndarray, centroids: np.ndarray
+) -> float:
+    """RMSE between measurements and their assigned cluster centroids.
+
+    This is the "intermediate RMSE" of Sec. VI-C: each node's estimate is
+    the centroid of the cluster it belongs to, with no per-node offset.
+
+    Args:
+        measurements: Shape ``(N, d)`` or ``(N,)``.
+        labels: Shape ``(N,)`` cluster ids.
+        centroids: Shape ``(K, d)`` or ``(K,)``.
+    """
+    data = np.asarray(measurements, dtype=float)
+    cents = np.asarray(centroids, dtype=float)
+    if data.ndim == 1:
+        data = data[:, np.newaxis]
+    if cents.ndim == 1:
+        cents = cents[:, np.newaxis]
+    labels = np.asarray(labels, dtype=int)
+    if labels.shape[0] != data.shape[0]:
+        raise DataError(
+            f"{labels.shape[0]} labels for {data.shape[0]} measurements"
+        )
+    assigned = cents[labels]
+    return instantaneous_rmse(assigned, data)
+
+
+def transmission_frequency(decisions: np.ndarray) -> float:
+    """Empirical transmission frequency ``(1/T) * Σ_t β_{i,t}``.
+
+    Args:
+        decisions: Binary array; 1-D for a single node or 2-D ``(T, N)``
+            (the mean is then taken over all entries).
+    """
+    arr = np.asarray(decisions, dtype=float)
+    if arr.size == 0:
+        raise DataError("decisions array is empty")
+    return float(arr.mean())
+
+
+def standard_deviation_bound(trace: np.ndarray) -> float:
+    """Error upper bound of an offline long-term-statistics forecaster.
+
+    The paper (Sec. VI-D1) uses the standard deviation of all resource
+    utilizations over time as the error an offline mechanism would incur
+    if it forecast every node with its long-term mean.  For a trace of
+    shape ``(T, N)`` this is ``sqrt(mean_i var_t(x_{i,t}))`` — the RMSE of
+    per-node mean predictions.
+    """
+    arr = np.asarray(trace, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[:, np.newaxis]
+    if arr.ndim != 2:
+        raise DataError(f"expected (T, N) trace, got shape {arr.shape}")
+    per_node_var = arr.var(axis=0)
+    return float(np.sqrt(per_node_var.mean()))

@@ -1,0 +1,496 @@
+"""End-to-end online pipeline (Fig. 2 of the paper).
+
+Per time slot the pipeline:
+
+1. lets every local node run its transmission policy, updating the
+   central store ``z_t`` (adaptive Lyapunov policy by default);
+2. dynamically clusters the stored measurements — by default each
+   resource type independently on scalar values (Table I's winner) —
+   re-indexing clusters against history so centroid time series are
+   coherent;
+3. once the initial collection phase has passed, trains/updates one
+   forecasting model per cluster (per resource), forecasts centroids
+   ``ĉ_{j,t+h}``, forecasts memberships by majority vote over
+   ``[t − M', t]``, computes α-clipped per-node offsets (Eq. 12), and
+   emits per-node forecasts ``x̂_{i,t+h} = ĉ_{j,t+h} + ŝ_{i,t+h}``.
+
+The pipeline is strictly online: at slot ``t`` it has seen nothing beyond
+``t``.  Use :func:`run_pipeline` to drive it over a recorded trace and
+collect the paper's RMSE metrics.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import ForecastingConfig, PipelineConfig
+from repro.core.metrics import instantaneous_rmse, time_averaged_rmse
+from repro.core.types import ClusterAssignment, validate_trace
+from repro.clustering.dynamic import DynamicClusterTracker
+from repro.exceptions import ConfigurationError, DataError, ReproError
+from repro.forecasting.arima import AutoArima
+from repro.forecasting.base import Forecaster
+from repro.forecasting.lstm import LstmForecaster
+from repro.forecasting.membership import forecast_membership
+from repro.forecasting.offsets import estimate_offsets
+from repro.forecasting.exponential import (
+    HoltLinear,
+    HoltWinters,
+    SimpleExponentialSmoothing,
+)
+from repro.forecasting.sample_hold import SampleHoldForecaster
+from repro.forecasting.yule_walker import YuleWalkerAR
+from repro.simulation.collection import (
+    CollectionResult,
+    simulate_adaptive_collection,
+    simulate_uniform_collection,
+)
+
+logger = logging.getLogger(__name__)
+
+#: A forecaster factory receives (cluster_id, resource_index) and returns
+#: a fresh, unfitted forecaster.
+ForecasterFactory = Callable[[int, int], object]
+
+
+def default_forecaster_factory(config: ForecastingConfig) -> ForecasterFactory:
+    """Build the forecaster factory implied by a ForecastingConfig."""
+
+    def factory(cluster: int, resource: int) -> object:
+        if config.model == "sample_hold":
+            return SampleHoldForecaster()
+        if config.model == "arima":
+            return AutoArima(
+                max_p=config.arima_max_p,
+                max_d=config.arima_max_d,
+                max_q=config.arima_max_q,
+                max_P=config.arima_max_P,
+                max_D=config.arima_max_D,
+                max_Q=config.arima_max_Q,
+                seasonal_period=config.arima_seasonal_period,
+            )
+        if config.model == "ses":
+            return SimpleExponentialSmoothing()
+        if config.model == "holt":
+            return HoltLinear()
+        if config.model == "holt_winters":
+            return HoltWinters(period=config.hw_period)
+        if config.model == "ar":
+            return YuleWalkerAR(order=config.ar_order)
+        if config.model == "lstm":
+            seed = None
+            if config.seed is not None:
+                # Distinct but reproducible per (cluster, resource).
+                seed = config.seed + 1009 * cluster + 9176 * resource
+            return LstmForecaster(
+                hidden_dim=config.lstm_hidden,
+                lookback=config.lstm_lookback,
+                epochs=config.lstm_epochs,
+                seed=seed,
+            )
+        raise ConfigurationError(f"unknown model {config.model!r}")
+
+    return factory
+
+
+@dataclass
+class StepOutput:
+    """What the pipeline emits after processing one slot.
+
+    Attributes:
+        time: The slot index ``t``.
+        stored: The central store ``z_t``, shape ``(N, d)``.
+        assignments: One :class:`ClusterAssignment` per resource group
+            (d entries under scalar clustering, 1 under joint clustering).
+        node_forecasts: ``{h: (N, d) array}`` of per-node forecasts
+            ``x̂_{i,t+h}``, or None before forecasting starts.
+        centroid_forecasts: ``{h: (K, d) array}`` of forecasted centroids.
+        memberships: Forecasted cluster per node and resource group,
+            shape ``(groups, N)``; None before forecasting starts.
+    """
+
+    time: int
+    stored: np.ndarray
+    assignments: List[ClusterAssignment]
+    node_forecasts: Optional[Dict[int, np.ndarray]] = None
+    centroid_forecasts: Optional[Dict[int, np.ndarray]] = None
+    memberships: Optional[np.ndarray] = None
+
+
+class OnlinePipeline:
+    """Streaming pipeline over the central store ``z_t``.
+
+    The pipeline consumes *stored* measurements (the transmission stage
+    runs separately — see :func:`run_pipeline` — so that any collection
+    policy can feed it).
+
+    Args:
+        num_nodes: Number of local nodes N.
+        num_resources: Resource dimensionality d.
+        config: Full pipeline configuration.
+        forecaster_factory: Override the model construction; receives
+            ``(cluster_id, resource_index)``.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_resources: int,
+        config: PipelineConfig = PipelineConfig(),
+        *,
+        forecaster_factory: Optional[ForecasterFactory] = None,
+    ) -> None:
+        if num_nodes < 1 or num_resources < 1:
+            raise ConfigurationError("num_nodes and num_resources must be >= 1")
+        self.num_nodes = num_nodes
+        self.num_resources = num_resources
+        self.config = config
+        clustering = config.clustering
+        if clustering.scalar_per_resource:
+            self._groups: List[List[int]] = [[r] for r in range(num_resources)]
+        else:
+            self._groups = [list(range(num_resources))]
+        self._trackers = [
+            DynamicClusterTracker(
+                clustering.num_clusters,
+                history_depth=clustering.history_depth,
+                similarity=clustering.similarity,
+                restarts=clustering.kmeans_restarts,
+                seed=None if clustering.seed is None else clustering.seed + g,
+            )
+            for g in range(len(self._groups))
+        ]
+        factory = forecaster_factory or default_forecaster_factory(
+            config.forecasting
+        )
+        self._forecasters: List[List[object]] = [
+            [factory(j, g) for j in range(clustering.num_clusters)]
+            for g in range(len(self._groups))
+        ]
+        self._stored_history: List[np.ndarray] = []
+        self._label_history: List[List[np.ndarray]] = [
+            [] for _ in self._groups
+        ]
+        self._time = 0
+        self._last_train: Optional[int] = None
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    @property
+    def num_groups(self) -> int:
+        return len(self._groups)
+
+    def tracker(self, group: int) -> DynamicClusterTracker:
+        """Access the dynamic tracker of one resource group."""
+        return self._trackers[group]
+
+    def _should_train(self) -> bool:
+        forecasting = self.config.forecasting
+        if self._time + 1 < forecasting.initial_collection:
+            return False
+        if self._last_train is None:
+            return True
+        return self._time - self._last_train >= forecasting.retrain_interval
+
+    def _forecasting_active(self) -> bool:
+        return self._last_train is not None
+
+    def step(self, stored: np.ndarray) -> StepOutput:
+        """Process one slot of stored measurements ``z_t``.
+
+        Args:
+            stored: Shape ``(N, d)`` (or ``(N,)`` when d = 1).
+
+        Returns:
+            The :class:`StepOutput` with clustering results and, once the
+            initial collection phase has passed, multi-horizon forecasts.
+        """
+        z = np.asarray(stored, dtype=float)
+        if z.ndim == 1:
+            z = z[:, np.newaxis]
+        if z.shape != (self.num_nodes, self.num_resources):
+            raise DataError(
+                f"stored must be ({self.num_nodes}, {self.num_resources}), "
+                f"got {z.shape}"
+            )
+        self._stored_history.append(z.copy())
+
+        assignments = []
+        for g, group in enumerate(self._groups):
+            values = z[:, group]
+            assignment = self._trackers[g].update(values)
+            assignments.append(assignment)
+            self._label_history[g].append(assignment.labels)
+
+        if self._should_train():
+            self._train_models()
+        elif self._forecasting_active():
+            self._update_models(assignments)
+
+        output = StepOutput(
+            time=self._time, stored=z.copy(), assignments=assignments
+        )
+        if self._forecasting_active():
+            self._forecast_into(output, assignments)
+        self._time += 1
+        return output
+
+    # ------------------------------------------------------------------
+    # Model management
+    # ------------------------------------------------------------------
+
+    def _train_models(self) -> None:
+        clustering = self.config.clustering
+        # One forecaster per (group, cluster); multivariate groups are
+        # handled by fitting one scalar model per centroid dimension.
+        for g in range(self.num_groups):
+            dim = len(self._groups[g])
+            for j in range(clustering.num_clusters):
+                series = self._trackers[g].centroid_series(j)
+                forecaster = self._forecasters[g][j]
+                if dim == 1:
+                    forecaster.fit(series[:, 0])
+                else:
+                    if not isinstance(forecaster, _MultivariateForecaster):
+                        forecaster = _MultivariateForecaster(
+                            forecaster, self._rebuild_factory(g, j), dim
+                        )
+                        self._forecasters[g][j] = forecaster
+                    forecaster.fit_matrix(series)
+        self._last_train = self._time
+
+    def _rebuild_factory(self, group: int, cluster: int):
+        factory = default_forecaster_factory(self.config.forecasting)
+
+        def build() -> object:
+            return factory(cluster, group)
+
+        return build
+
+    def _update_models(self, assignments: Sequence[ClusterAssignment]) -> None:
+        for g, assignment in enumerate(assignments):
+            for j in range(self.config.clustering.num_clusters):
+                forecaster = self._forecasters[g][j]
+                centroid = assignment.centroids[j]
+                if isinstance(forecaster, _MultivariateForecaster):
+                    forecaster.update_vector(centroid)
+                else:
+                    forecaster.update(float(centroid[0]))
+
+    def _forecast_into(
+        self, output: StepOutput, assignments: Sequence[ClusterAssignment]
+    ) -> None:
+        forecasting = self.config.forecasting
+        clustering = self.config.clustering
+        horizon = forecasting.max_horizon
+        lookback = forecasting.membership_lookback
+
+        node_forecasts = {
+            h: np.zeros((self.num_nodes, self.num_resources))
+            for h in range(1, horizon + 1)
+        }
+        centroid_forecasts = {
+            h: np.zeros((clustering.num_clusters, self.num_resources))
+            for h in range(1, horizon + 1)
+        }
+        memberships_all = np.zeros((self.num_groups, self.num_nodes), dtype=int)
+
+        for g, group in enumerate(self._groups):
+            # Forecast centroids for every cluster in this group.
+            per_cluster = np.zeros(
+                (horizon, clustering.num_clusters, len(group))
+            )
+            for j in range(clustering.num_clusters):
+                forecaster = self._forecasters[g][j]
+                try:
+                    if isinstance(forecaster, _MultivariateForecaster):
+                        per_cluster[:, j, :] = forecaster.forecast_matrix(horizon)
+                    else:
+                        per_cluster[:, j, 0] = forecaster.forecast(horizon)
+                except ReproError as exc:
+                    logger.warning(
+                        "forecast failed for group %d cluster %d: %s; "
+                        "holding last centroid", g, j, exc,
+                    )
+                    per_cluster[:, j, :] = assignments[g].centroids[j]
+
+            memberships = forecast_membership(self._label_history[g], lookback)
+            memberships_all[g] = memberships
+
+            window = lookback + 1
+            stored_group = [
+                z[:, group] for z in self._stored_history[-window:]
+            ]
+            centroid_group = [
+                a.centroids for a in self._trackers[g].assignments[-window:]
+            ]
+            offsets = estimate_offsets(
+                stored_group, centroid_group, memberships, lookback
+            )
+
+            for h in range(1, horizon + 1):
+                centroid_forecasts[h][:, group] = per_cluster[h - 1]
+                node_forecasts[h][:, group] = (
+                    per_cluster[h - 1][memberships] + offsets
+                )
+
+        output.node_forecasts = node_forecasts
+        output.centroid_forecasts = centroid_forecasts
+        output.memberships = memberships_all
+
+
+class _MultivariateForecaster:
+    """Wraps scalar forecasters to handle multi-dimensional centroids.
+
+    Used only under joint (non-scalar) clustering, where the centroid of
+    a cluster is a d-vector: one scalar forecaster is fitted per
+    dimension.
+    """
+
+    def __init__(self, first: object, build: Callable[[], object], dim: int) -> None:
+        self._models = [first] + [build() for _ in range(dim - 1)]
+        self.dim = dim
+
+    def fit_matrix(self, series: np.ndarray) -> None:
+        for r, model in enumerate(self._models):
+            model.fit(series[:, r])
+
+    def update_vector(self, value: np.ndarray) -> None:
+        for r, model in enumerate(self._models):
+            model.update(float(value[r]))
+
+    def forecast_matrix(self, horizon: int) -> np.ndarray:
+        out = np.zeros((horizon, self.dim))
+        for r, model in enumerate(self._models):
+            out[:, r] = model.forecast(horizon)
+        return out
+
+
+@dataclass
+class PipelineResult:
+    """Batch-run outcome with the paper's metrics.
+
+    Attributes:
+        stored: Central-store trajectory ``(T, N, d)``.
+        decisions: Transmission decisions ``(T, N)``.
+        rmse_by_horizon: ``{h: RMSE(T, h)}`` time-averaged per Eq. 4,
+            evaluated over all slots where both forecast and truth exist
+            (``h = 0`` is the pure collection error ``z`` vs ``x``).
+        intermediate_rmse: Time-averaged centroid-vs-data RMSE per
+            resource group (Sec. VI-C), averaged across groups.
+        forecast_start: First slot index with forecasts available.
+    """
+
+    stored: np.ndarray
+    decisions: np.ndarray
+    rmse_by_horizon: Dict[int, float]
+    intermediate_rmse: float
+    forecast_start: int
+
+
+def run_pipeline(
+    trace: np.ndarray,
+    config: PipelineConfig = PipelineConfig(),
+    *,
+    collection: str = "adaptive",
+    forecaster_factory: Optional[ForecasterFactory] = None,
+    horizons: Optional[Sequence[int]] = None,
+) -> PipelineResult:
+    """Run collection + clustering + forecasting over a recorded trace.
+
+    Args:
+        trace: True measurements, shape ``(T, N)`` or ``(T, N, d)``.
+        config: Pipeline configuration.
+        collection: ``"adaptive"`` (paper), ``"uniform"`` or ``"perfect"``
+            (no staleness; B = 1).
+        forecaster_factory: Optional model override.
+        horizons: Horizons to evaluate; default ``0..max_horizon``.
+
+    Returns:
+        The :class:`PipelineResult` with RMSE per horizon.
+    """
+    data = validate_trace(trace)
+    num_steps, num_nodes, num_resources = data.shape
+    if collection == "adaptive":
+        collected = simulate_adaptive_collection(data, config.transmission)
+    elif collection == "uniform":
+        collected = simulate_uniform_collection(
+            data, config.transmission.budget
+        )
+    elif collection == "perfect":
+        collected = CollectionResult(
+            stored=data.copy(),
+            decisions=np.ones((num_steps, num_nodes), dtype=int),
+        )
+    else:
+        raise ConfigurationError(
+            f"collection must be 'adaptive', 'uniform' or 'perfect', "
+            f"got {collection!r}"
+        )
+
+    pipeline = OnlinePipeline(
+        num_nodes,
+        num_resources,
+        config,
+        forecaster_factory=forecaster_factory,
+    )
+    max_h = config.forecasting.max_horizon
+    eval_horizons = list(horizons) if horizons is not None else list(
+        range(0, max_h + 1)
+    )
+    for h in eval_horizons:
+        if h < 0 or h > max_h:
+            raise ConfigurationError(
+                f"horizon {h} outside [0, {max_h}]"
+            )
+
+    sq_sums: Dict[int, float] = {h: 0.0 for h in eval_horizons}
+    sq_counts: Dict[int, int] = {h: 0 for h in eval_horizons}
+    intermediate_sq: List[float] = []
+    forecast_start = -1
+
+    for t in range(num_steps):
+        output = pipeline.step(collected.stored[t])
+        if 0 in sq_sums:
+            err = instantaneous_rmse(collected.stored[t], data[t])
+            sq_sums[0] += err**2
+            sq_counts[0] += 1
+        # Intermediate RMSE: centroid of assigned cluster vs stored value,
+        # averaged over resource groups.
+        group_sq = []
+        groups = pipeline._groups
+        for g, assignment in enumerate(output.assignments):
+            values = collected.stored[t][:, groups[g]]
+            centers = assignment.centroids[assignment.labels]
+            group_sq.append(instantaneous_rmse(centers, values) ** 2)
+        intermediate_sq.append(float(np.mean(group_sq)))
+
+        if output.node_forecasts is not None:
+            if forecast_start < 0:
+                forecast_start = t
+            for h in eval_horizons:
+                if h == 0 or t + h >= num_steps:
+                    continue
+                err = instantaneous_rmse(
+                    output.node_forecasts[h], data[t + h]
+                )
+                sq_sums[h] += err**2
+                sq_counts[h] += 1
+
+    rmse_by_horizon = {}
+    for h in eval_horizons:
+        if sq_counts[h] > 0:
+            rmse_by_horizon[h] = float(np.sqrt(sq_sums[h] / sq_counts[h]))
+    return PipelineResult(
+        stored=collected.stored,
+        decisions=collected.decisions,
+        rmse_by_horizon=rmse_by_horizon,
+        intermediate_rmse=float(np.sqrt(np.mean(intermediate_sq))),
+        forecast_start=forecast_start,
+    )

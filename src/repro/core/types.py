@@ -1,0 +1,204 @@
+"""Core value types shared across the library.
+
+The paper (Sec. IV) models a distributed system of ``N`` local nodes, each
+producing a ``d``-dimensional measurement per time slot (one dimension per
+resource type, e.g. CPU and memory).  The types here give those concepts
+names so the rest of the code can pass them around explicitly instead of
+using bare tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+#: Index of a local node, ``0 <= node < N``.
+NodeId = int
+
+#: Index of a cluster, ``0 <= cluster < K``.
+ClusterId = int
+
+#: A cluster partition: ``labels[i]`` is the cluster id of node ``i``.
+Labels = np.ndarray
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A single measurement produced by one node at one time step.
+
+    Attributes:
+        node: Index of the producing node.
+        time: Time-slot index at which the value was *measured* (this can
+            lag behind the current slot when transmissions are skipped).
+        value: The ``d``-dimensional utilization vector, values in [0, 1].
+    """
+
+    node: NodeId
+    time: int
+    value: np.ndarray
+
+    def __post_init__(self) -> None:
+        value = np.asarray(self.value, dtype=float)
+        if value.ndim != 1:
+            raise DataError(
+                f"measurement value must be 1-D, got shape {value.shape}"
+            )
+        object.__setattr__(self, "value", value)
+
+    @property
+    def dimension(self) -> int:
+        """Number of resource types in this measurement."""
+        return int(self.value.shape[0])
+
+
+@dataclass(frozen=True)
+class ClusterAssignment:
+    """Result of one clustering step at the central node.
+
+    Attributes:
+        time: The time slot the assignment belongs to.
+        labels: Array of shape ``(N,)``; ``labels[i]`` is the (re-indexed)
+            cluster id of node ``i`` at this time slot.
+        centroids: Array of shape ``(K, d)`` with the centroid of each
+            cluster, indexed consistently with ``labels``.
+    """
+
+    time: int
+    labels: np.ndarray
+    centroids: np.ndarray
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels, dtype=int)
+        centroids = np.asarray(self.centroids, dtype=float)
+        if labels.ndim != 1:
+            raise DataError(f"labels must be 1-D, got shape {labels.shape}")
+        if centroids.ndim != 2:
+            raise DataError(
+                f"centroids must be 2-D, got shape {centroids.shape}"
+            )
+        if labels.size and (labels.min() < 0 or labels.max() >= len(centroids)):
+            raise DataError(
+                "labels reference cluster ids outside [0, K): "
+                f"min={labels.min()}, max={labels.max()}, K={len(centroids)}"
+            )
+        object.__setattr__(self, "labels", labels)
+        object.__setattr__(self, "centroids", centroids)
+
+    @property
+    def num_clusters(self) -> int:
+        return int(self.centroids.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.labels.shape[0])
+
+    def members(self, cluster: ClusterId) -> np.ndarray:
+        """Return the node ids belonging to ``cluster`` (paper's C_{j,t})."""
+        return np.flatnonzero(self.labels == cluster)
+
+    def member_sets(self) -> List[set]:
+        """Return the partition as a list of ``set`` objects, one per cluster."""
+        return [set(self.members(j).tolist()) for j in range(self.num_clusters)]
+
+
+@dataclass
+class Forecast:
+    """A multi-horizon forecast made at one time step.
+
+    Attributes:
+        made_at: The time slot ``t`` the forecast was issued.
+        horizons: The forecast steps ``h`` (e.g. ``[1, 2, ..., H]``).
+        node_values: Array of shape ``(len(horizons), N, d)`` with the
+            forecasted per-node utilizations ``x̂_{i,t+h}``.
+        centroid_values: Array of shape ``(len(horizons), K, d)`` with the
+            forecasted centroids ``ĉ_{j,t+h}``.
+        memberships: Array of shape ``(N,)`` with the forecasted cluster of
+            each node (the paper forecasts a single membership used for all
+            horizons).
+    """
+
+    made_at: int
+    horizons: Sequence[int]
+    node_values: np.ndarray
+    centroid_values: np.ndarray
+    memberships: np.ndarray
+
+    def for_horizon(self, h: int) -> np.ndarray:
+        """Return the ``(N, d)`` per-node forecast for horizon ``h``."""
+        try:
+            idx = list(self.horizons).index(h)
+        except ValueError:
+            raise DataError(f"horizon {h} not in forecast horizons {self.horizons}")
+        return self.node_values[idx]
+
+
+@dataclass
+class TransmissionRecord:
+    """Bookkeeping of transmission decisions for one node.
+
+    Attributes:
+        node: Node id.
+        decisions: ``decisions[t]`` is 1 if the node transmitted in slot t.
+    """
+
+    node: NodeId
+    decisions: List[int] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return int(sum(self.decisions))
+
+    @property
+    def frequency(self) -> float:
+        """Empirical transmission frequency (fraction of slots transmitted)."""
+        if not self.decisions:
+            return 0.0
+        return self.count / len(self.decisions)
+
+
+def validate_trace(trace: np.ndarray) -> np.ndarray:
+    """Validate and normalize a trace array to shape ``(T, N, d)``.
+
+    Args:
+        trace: Array of measurements.  Accepted shapes are ``(T, N)``
+            (single resource, promoted to ``d=1``) and ``(T, N, d)``.
+
+    Returns:
+        The validated ``float`` array with shape ``(T, N, d)``.
+
+    Raises:
+        DataError: If the shape is unsupported or the data contains NaNs.
+    """
+    arr = np.asarray(trace, dtype=float)
+    if arr.ndim == 2:
+        arr = arr[:, :, np.newaxis]
+    if arr.ndim != 3:
+        raise DataError(
+            f"trace must have shape (T, N) or (T, N, d), got {arr.shape}"
+        )
+    if arr.size == 0:
+        raise DataError("trace is empty")
+    if not np.isfinite(arr).all():
+        raise DataError("trace contains NaN or infinite values")
+    return arr
+
+
+def partition_from_labels(labels: np.ndarray, num_clusters: int) -> Dict[int, set]:
+    """Convert a label array into ``{cluster_id: set(node_ids)}``.
+
+    Empty clusters are represented with empty sets so that every cluster id
+    in ``range(num_clusters)`` is a key.
+    """
+    labels = np.asarray(labels, dtype=int)
+    partition: Dict[int, set] = {j: set() for j in range(num_clusters)}
+    for node, label in enumerate(labels):
+        if label < 0 or label >= num_clusters:
+            raise DataError(
+                f"label {label} for node {node} outside [0, {num_clusters})"
+            )
+        partition[int(label)].add(node)
+    return partition

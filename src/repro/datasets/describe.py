@@ -1,0 +1,106 @@
+"""Summary statistics of a trace dataset.
+
+Gives a quick characterization of any :class:`TraceDataset` — real or
+synthetic — along the axes that drive the paper's algorithms: level,
+variability, temporal smoothness (lag-1 autocorrelation), spatial
+correlation, and the fraction of near-idle machines.  Useful both for
+sanity-checking a real-trace import and for verifying that the
+synthetic stand-ins land in the intended regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.correlation import pairwise_correlations
+from repro.analysis.reporting import format_table
+from repro.datasets.base import TraceDataset
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class ResourceSummary:
+    """Per-resource trace statistics.
+
+    Attributes:
+        mean: Grand mean utilization.
+        std: Mean per-node standard deviation over time.
+        lag1_autocorrelation: Mean per-node lag-1 autocorrelation
+            (temporal smoothness; near 1 = slow drift, near 0 = noise).
+        median_abs_correlation: Median absolute pairwise (spatial)
+            correlation across nodes.
+        idle_fraction: Fraction of nodes whose temporal std is below
+            ``idle_std_threshold`` — near-constant machines.
+    """
+
+    mean: float
+    std: float
+    lag1_autocorrelation: float
+    median_abs_correlation: float
+    idle_fraction: float
+
+
+def describe_resource(
+    trace: np.ndarray, *, idle_std_threshold: float = 0.01
+) -> ResourceSummary:
+    """Summarize one resource's ``(T, N)`` trace."""
+    data = np.asarray(trace, dtype=float)
+    if data.ndim != 2 or data.shape[0] < 3:
+        raise DataError(
+            f"trace must be (T >= 3, N), got shape {data.shape}"
+        )
+    stds = data.std(axis=0)
+    centered = data - data.mean(axis=0)
+    num = np.sum(centered[1:] * centered[:-1], axis=0)
+    den = np.sum(centered**2, axis=0)
+    valid = den > 1e-12
+    lag1 = float(np.mean(num[valid] / den[valid])) if valid.any() else 0.0
+    try:
+        median_corr = float(
+            np.median(np.abs(pairwise_correlations(data)))
+        )
+    except DataError:
+        median_corr = 0.0
+    return ResourceSummary(
+        mean=float(data.mean()),
+        std=float(stds.mean()),
+        lag1_autocorrelation=lag1,
+        median_abs_correlation=median_corr,
+        idle_fraction=float(np.mean(stds < idle_std_threshold)),
+    )
+
+
+def describe(dataset: TraceDataset) -> Dict[str, ResourceSummary]:
+    """Summarize every resource of a dataset."""
+    return {
+        name: describe_resource(dataset.resource(name))
+        for name in dataset.resource_names
+    }
+
+
+def format_description(dataset: TraceDataset) -> str:
+    """Render the dataset summary as an aligned table."""
+    summaries = describe(dataset)
+    rows = []
+    for name, summary in summaries.items():
+        rows.append(
+            [
+                name,
+                summary.mean,
+                summary.std,
+                summary.lag1_autocorrelation,
+                summary.median_abs_correlation,
+                summary.idle_fraction,
+            ]
+        )
+    header = (
+        f"{dataset.name}: {dataset.num_nodes} nodes x "
+        f"{dataset.num_steps} steps @ {dataset.period_minutes:g} min\n"
+    )
+    return header + format_table(
+        ["resource", "mean", "std", "lag1 AC", "med |corr|", "idle frac"],
+        rows,
+    )

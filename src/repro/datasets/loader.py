@@ -1,0 +1,94 @@
+"""Ingestion of real trace files, when the user has them on disk.
+
+The synthetic generators make the library self-contained, but a user with
+access to the actual Alibaba/Bitbrains/Google exports can load them here.
+The expected format is deliberately simple — one CSV per resource type
+with rows = time slots and columns = machines, values normalized to
+[0, 1] — since each raw trace needs dataset-specific preprocessing that
+is documented in the paper (Sec. VI-A1) and in README.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import TraceDataset
+from repro.exceptions import DataError
+
+
+def read_matrix_csv(path: str) -> np.ndarray:
+    """Read a numeric CSV into a ``(T, N)`` float array.
+
+    A single optional header row (any non-numeric first row) is skipped.
+    """
+    if not os.path.exists(path):
+        raise DataError(f"trace file not found: {path}")
+    rows = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        for line_no, row in enumerate(reader):
+            if not row:
+                continue
+            try:
+                rows.append([float(cell) for cell in row])
+            except ValueError:
+                if line_no == 0:
+                    continue  # header
+                raise DataError(
+                    f"{path}:{line_no + 1}: non-numeric value in trace"
+                )
+    if not rows:
+        raise DataError(f"{path} contains no data rows")
+    lengths = {len(r) for r in rows}
+    if len(lengths) != 1:
+        raise DataError(f"{path}: inconsistent column counts {sorted(lengths)}")
+    return np.asarray(rows, dtype=float)
+
+
+def load_trace_csv(
+    paths: Sequence[str],
+    resource_names: Tuple[str, ...],
+    *,
+    name: str = "custom",
+    period_minutes: float = 5.0,
+    clip: bool = True,
+) -> TraceDataset:
+    """Load one CSV per resource type and stack them into a dataset.
+
+    Args:
+        paths: One CSV path per resource, all with identical shapes.
+        resource_names: Matching resource names.
+        name: Dataset name.
+        period_minutes: Sampling period metadata.
+        clip: Clip values into [0, 1] (raw traces often contain slight
+            overshoots after normalization).
+
+    Returns:
+        The stacked :class:`TraceDataset`.
+    """
+    if len(paths) != len(resource_names):
+        raise DataError(
+            f"{len(paths)} paths for {len(resource_names)} resource names"
+        )
+    if not paths:
+        raise DataError("need at least one resource CSV")
+    matrices = [read_matrix_csv(p) for p in paths]
+    shape = matrices[0].shape
+    for path, matrix in zip(paths, matrices):
+        if matrix.shape != shape:
+            raise DataError(
+                f"{path} has shape {matrix.shape}, expected {shape}"
+            )
+    data = np.stack(matrices, axis=2)
+    if clip:
+        data = np.clip(data, 0.0, 1.0)
+    return TraceDataset(
+        name=name,
+        data=data,
+        resource_names=tuple(resource_names),
+        period_minutes=period_minutes,
+    )

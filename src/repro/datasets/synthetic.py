@@ -1,0 +1,261 @@
+"""Synthetic workload building blocks.
+
+The real evaluation traces (Alibaba v2018, Bitbrains GWA-T-12 Rnd, Google
+cluster-usage v2) are tens of gigabytes and not redistributable, so the
+reproduction generates synthetic traces with the statistical properties
+the paper's algorithms are sensitive to:
+
+* **latent workload profiles** — groups of machines running similar
+  workloads, giving the short-term spatial correlation the clustering
+  stage exploits;
+* **diurnal periodicity** — daily load cycles;
+* **AR(1) profile dynamics** — smooth stochastic drift of each profile;
+* **membership churn** — machines migrating between profiles over time,
+  which is what makes *dynamic* (vs static) clustering necessary;
+* **bursts** — heavy-tailed spikes typical of VM workloads (Bitbrains);
+* **observation noise** — per-machine idiosyncratic fluctuation, which
+  weakens long-term pairwise correlation (the paper's Fig. 1 point).
+
+All values are clipped to the normalized utilization range [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProfileTraceSpec:
+    """Parameters of one resource's latent-profile trace generator.
+
+    Attributes:
+        num_profiles: Number of latent workload profiles G.
+        base_range: Profiles draw their baseline level from this range.
+        diurnal_amplitude: Peak amplitude of the daily cycle.
+        steps_per_day: Slots per day (defines the diurnal period).
+        ar_coefficient: AR(1) coefficient of profile drift, in [0, 1).
+        ar_scale: Innovation std-dev of the profile drift.
+        churn: Per-slot probability a node migrates to a random profile.
+        node_offset_scale: Std-dev of each node's persistent offset.
+        noise_scale: Std-dev of per-slot per-node observation noise.
+        burst_rate: Per-slot probability a node starts a burst.
+        burst_magnitude: Burst height (added, then clipped at 1).
+        burst_duration: Mean burst length in slots (geometric).
+        regime_rate: Per-slot probability of a *workload regime shift*:
+            profile baselines are re-drawn and a fraction of nodes is
+            re-assigned at once.  This models fleet-wide task migrations
+            and is what makes long-term covariance misleading — the key
+            property (Sec. III) that defeats Gaussian-based methods on
+            real cluster traces.
+        regime_node_fraction: Fraction of nodes reshuffled at a regime
+            shift.
+        idle_fraction: Fraction of machines that are (nearly) idle —
+            parked at ``idle_level`` with only tiny noise, ignoring the
+            workload profiles.  Real cluster traces contain many such
+            machines; they produce near-duplicate rows that make raw
+            sample covariances nearly singular (the failure mode of the
+            Gaussian baselines in Fig. 12).
+        idle_level: Mean utilization of idle machines.
+        idle_noise: Noise std-dev of idle machines.
+        replica_fraction: Fraction of machines that are *replicas*:
+            they track their workload profile with near-zero
+            idiosyncratic noise and no personal offset (think identical
+            instances of a replicated service).  Groups of replicas are
+            nearly collinear, which is what makes raw sample covariances
+            ill-conditioned on real traces (the Top-W failure mode in
+            Fig. 12).
+        replica_noise: Noise std-dev of replica machines.
+    """
+
+    num_profiles: int = 3
+    base_range: Tuple[float, float] = (0.2, 0.6)
+    diurnal_amplitude: float = 0.15
+    steps_per_day: int = 288
+    ar_coefficient: float = 0.95
+    ar_scale: float = 0.02
+    churn: float = 0.002
+    node_offset_scale: float = 0.03
+    noise_scale: float = 0.02
+    burst_rate: float = 0.0
+    burst_magnitude: float = 0.3
+    burst_duration: float = 5.0
+    regime_rate: float = 0.0
+    regime_node_fraction: float = 0.5
+    idle_fraction: float = 0.0
+    idle_level: float = 0.02
+    idle_noise: float = 0.004
+    replica_fraction: float = 0.0
+    replica_noise: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.num_profiles < 1:
+            raise ConfigurationError("num_profiles must be >= 1")
+        if not 0 <= self.ar_coefficient < 1:
+            raise ConfigurationError("ar_coefficient must be in [0, 1)")
+        if not 0 <= self.churn <= 1:
+            raise ConfigurationError("churn must be in [0, 1]")
+        if self.steps_per_day < 1:
+            raise ConfigurationError("steps_per_day must be >= 1")
+        if self.burst_duration <= 0:
+            raise ConfigurationError("burst_duration must be positive")
+        if not 0 <= self.regime_rate <= 1:
+            raise ConfigurationError("regime_rate must be in [0, 1]")
+        if not 0 <= self.regime_node_fraction <= 1:
+            raise ConfigurationError(
+                "regime_node_fraction must be in [0, 1]"
+            )
+        if not 0 <= self.idle_fraction <= 1:
+            raise ConfigurationError("idle_fraction must be in [0, 1]")
+        if self.idle_noise < 0:
+            raise ConfigurationError("idle_noise must be >= 0")
+        if not 0 <= self.replica_fraction <= 1:
+            raise ConfigurationError("replica_fraction must be in [0, 1]")
+        if self.replica_noise < 0:
+            raise ConfigurationError("replica_noise must be >= 0")
+
+
+def draw_regime_events(
+    spec: ProfileTraceSpec, num_steps: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Boolean mask of regime-shift slots (Bernoulli per slot)."""
+    if spec.regime_rate <= 0:
+        return np.zeros(num_steps, dtype=bool)
+    events = rng.random(num_steps) < spec.regime_rate
+    events[0] = False  # the initial draw is not a shift
+    return events
+
+
+def generate_profile_paths(
+    spec: ProfileTraceSpec,
+    num_steps: int,
+    rng: np.random.Generator,
+    events: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Latent profile trajectories, shape ``(T, G)``.
+
+    Each profile is ``base + diurnal + AR(1) drift`` with its own phase,
+    so profiles are distinguishable and slowly moving.  At regime-shift
+    slots (``events``) the baselines are re-drawn, producing fleet-wide
+    level shifts.
+    """
+    g = spec.num_profiles
+    bases = rng.uniform(*spec.base_range, size=g)
+    phases = rng.uniform(0, 2 * np.pi, size=g)
+    amplitudes = spec.diurnal_amplitude * rng.uniform(0.5, 1.5, size=g)
+    t = np.arange(num_steps)
+    paths = np.zeros((num_steps, g))
+    state = np.zeros(g)
+    for step in range(num_steps):
+        if events is not None and events[step]:
+            bases = rng.uniform(*spec.base_range, size=g)
+        state = spec.ar_coefficient * state + rng.normal(
+            0, spec.ar_scale, size=g
+        )
+        diurnal = amplitudes * np.sin(
+            2 * np.pi * t[step] / spec.steps_per_day + phases
+        )
+        paths[step] = bases + diurnal + state
+    return paths
+
+
+def generate_memberships(
+    spec: ProfileTraceSpec,
+    num_steps: int,
+    num_nodes: int,
+    rng: np.random.Generator,
+    events: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Node-to-profile membership over time, shape ``(T, N)`` of ints.
+
+    Nodes start uniformly distributed over profiles and migrate to a
+    uniformly random profile with probability ``churn`` per slot; at
+    regime-shift slots, ``regime_node_fraction`` of the fleet migrates
+    at once.
+    """
+    members = np.zeros((num_steps, num_nodes), dtype=int)
+    current = rng.integers(spec.num_profiles, size=num_nodes)
+    for step in range(num_steps):
+        if events is not None and events[step] and spec.regime_node_fraction > 0:
+            count = int(round(spec.regime_node_fraction * num_nodes))
+            if count > 0:
+                chosen = rng.choice(num_nodes, size=count, replace=False)
+                current = current.copy()
+                current[chosen] = rng.integers(spec.num_profiles, size=count)
+        if spec.churn > 0:
+            migrate = rng.random(num_nodes) < spec.churn
+            if migrate.any():
+                current = current.copy()
+                current[migrate] = rng.integers(
+                    spec.num_profiles, size=int(migrate.sum())
+                )
+        members[step] = current
+    return members
+
+
+def generate_bursts(
+    spec: ProfileTraceSpec,
+    num_steps: int,
+    num_nodes: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Additive burst process, shape ``(T, N)``.
+
+    Bursts start as a Bernoulli process per node and last a geometric
+    number of slots, with exponential magnitudes — a simple heavy-tailed
+    spike model.
+    """
+    bursts = np.zeros((num_steps, num_nodes))
+    if spec.burst_rate <= 0:
+        return bursts
+    remaining = np.zeros(num_nodes, dtype=int)
+    height = np.zeros(num_nodes)
+    continue_prob = 1.0 - 1.0 / spec.burst_duration
+    for step in range(num_steps):
+        start = (remaining == 0) & (rng.random(num_nodes) < spec.burst_rate)
+        if start.any():
+            remaining[start] = 1 + rng.geometric(
+                1.0 - continue_prob, size=int(start.sum())
+            )
+            height[start] = rng.exponential(
+                spec.burst_magnitude, size=int(start.sum())
+            )
+        active = remaining > 0
+        bursts[step, active] = height[active]
+        remaining[active] -= 1
+    return bursts
+
+
+def generate_resource_trace(
+    spec: ProfileTraceSpec,
+    num_steps: int,
+    num_nodes: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One resource type's full trace, shape ``(T, N)`` in [0, 1]."""
+    events = draw_regime_events(spec, num_steps, rng)
+    profiles = generate_profile_paths(spec, num_steps, rng, events)
+    members = generate_memberships(spec, num_steps, num_nodes, rng, events)
+    offsets = rng.normal(0, spec.node_offset_scale, size=num_nodes)
+    noise_scales = np.full(num_nodes, spec.noise_scale)
+    num_replicas = int(round(spec.replica_fraction * num_nodes))
+    if num_replicas > 0:
+        replicas = rng.choice(num_nodes, size=num_replicas, replace=False)
+        noise_scales[replicas] = spec.replica_noise
+        offsets[replicas] = 0.0  # replicas are identical instances
+    noise = rng.normal(0, 1.0, size=(num_steps, num_nodes)) * noise_scales
+    bursts = generate_bursts(spec, num_steps, num_nodes, rng)
+    rows = np.arange(num_steps)[:, np.newaxis]
+    values = profiles[rows, members] + offsets + noise + bursts
+    num_idle = int(round(spec.idle_fraction * num_nodes))
+    if num_idle > 0:
+        idle_nodes = rng.choice(num_nodes, size=num_idle, replace=False)
+        idle_values = spec.idle_level * (
+            1.0 + rng.normal(0, 0.2, size=num_idle)
+        ) + rng.normal(0, spec.idle_noise, size=(num_steps, num_idle))
+        values[:, idle_nodes] = idle_values
+    return np.clip(values, 0.0, 1.0)

@@ -1,0 +1,132 @@
+"""Fig. 12 & Table IV — comparison with the Gaussian-based method of [3].
+
+The modified setting of Sec. VI-E: 100 randomly selected machines, a
+500-step training phase where everyone transmits, then a testing phase
+where only K monitors transmit and the rest are inferred.  Compares the
+paper's clustering-based monitor selection against minimum-distance and
+the three Gaussian schemes (Top-W, Top-W-Update, Batch Selection), in
+both RMSE (Fig. 12, vs K) and computation time (Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import load_cluster_datasets
+from repro.gaussian.monitor import (
+    BatchSelectionScheme,
+    MinimumDistanceScheme,
+    MonitoringEvaluation,
+    ProposedMonitorScheme,
+    TopWScheme,
+    TopWUpdateScheme,
+    evaluate_scheme,
+)
+
+SCHEMES = (
+    "proposed",
+    "minimum_distance",
+    "top_w",
+    "top_w_update",
+    "batch_selection",
+)
+
+
+def _build_scheme(name: str, num_monitors: int, seed: int):
+    if name == "proposed":
+        return ProposedMonitorScheme(num_monitors, seed=seed)
+    if name == "minimum_distance":
+        return MinimumDistanceScheme(num_monitors, seed=seed)
+    if name == "top_w":
+        return TopWScheme(num_monitors)
+    if name == "top_w_update":
+        # Per-step re-estimation, matching the cost profile the paper
+        # reports in Table IV (Top-W-Update orders of magnitude slower).
+        return TopWUpdateScheme(num_monitors, update_interval=1)
+    if name == "batch_selection":
+        return BatchSelectionScheme(num_monitors)
+    raise ValueError(f"unknown scheme {name!r}")
+
+
+@dataclass
+class Fig12Result:
+    """RMSE and timing per (dataset, scheme, K).
+
+    Attributes:
+        monitor_counts: Swept K values.
+        evaluations: ``{(dataset, scheme): [evaluation per K]}``.
+    """
+
+    monitor_counts: Sequence[int]
+    evaluations: Dict[Tuple[str, str], List[MonitoringEvaluation]]
+
+    def format(self) -> str:
+        rows = []
+        for (dataset, scheme), evals in sorted(self.evaluations.items()):
+            for count, evaluation in zip(self.monitor_counts, evals):
+                rows.append(
+                    [
+                        dataset,
+                        scheme,
+                        count,
+                        evaluation.rmse,
+                        evaluation.total_seconds,
+                    ]
+                )
+        return format_table(
+            ["dataset", "scheme", "K", "RMSE", "seconds"], rows
+        )
+
+    def rmse_table(self, dataset: str) -> Dict[str, List[float]]:
+        return {
+            scheme: [e.rmse for e in evals]
+            for (d, scheme), evals in self.evaluations.items()
+            if d == dataset
+        }
+
+    def timing_table(self, dataset: str) -> Dict[str, float]:
+        """Total seconds summed over the K sweep (Table IV flavor)."""
+        return {
+            scheme: float(sum(e.total_seconds for e in evals))
+            for (d, scheme), evals in self.evaluations.items()
+            if d == dataset
+        }
+
+
+def run_fig12(
+    num_nodes: int = 100,
+    *,
+    train_steps: int = 500,
+    test_steps: int = 500,
+    monitor_counts: Sequence[int] = (10, 25, 50),
+    datasets: Sequence[str] = ("alibaba", "bitbrains", "google"),
+    resource: str = "cpu",
+    schemes: Sequence[str] = SCHEMES,
+    seed: int = 0,
+) -> Fig12Result:
+    """Regenerate the Fig. 12 / Table IV comparison."""
+    # Drop monitor counts that exceed the (possibly scaled-down) fleet.
+    monitor_counts = tuple(k for k in monitor_counts if k <= num_nodes)
+    if not monitor_counts:
+        monitor_counts = (max(1, num_nodes // 2),)
+    num_steps = train_steps + test_steps
+    all_data = load_cluster_datasets(num_nodes, num_steps)
+    selected = {k: v for k, v in all_data.items() if k in set(datasets)}
+    evaluations: Dict[Tuple[str, str], List[MonitoringEvaluation]] = {}
+    for name, dataset in selected.items():
+        trace = dataset.resource(resource)
+        train = trace[:train_steps]
+        test = trace[train_steps:]
+        for scheme_name in schemes:
+            evals = []
+            for count in monitor_counts:
+                scheme = _build_scheme(scheme_name, count, seed)
+                evals.append(evaluate_scheme(scheme, train, test))
+            evaluations[(name, scheme_name)] = evals
+    return Fig12Result(
+        monitor_counts=monitor_counts, evaluations=evaluations
+    )

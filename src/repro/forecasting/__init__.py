@@ -1,0 +1,58 @@
+"""Temporal forecasting stage (Sec. V-C): models, membership, offsets."""
+
+from repro.forecasting.arima import (
+    ArimaModel,
+    ArimaOrder,
+    AutoArima,
+    candidate_orders,
+    grid_search,
+)
+from repro.forecasting.base import Forecaster
+from repro.forecasting.exponential import (
+    HoltLinear,
+    HoltWinters,
+    SimpleExponentialSmoothing,
+)
+from repro.forecasting.yule_walker import YuleWalkerAR, fit_yule_walker
+from repro.forecasting.lstm import LstmForecaster, StackedLSTMNetwork
+from repro.forecasting.membership import forecast_membership, membership_stability
+from repro.forecasting.offsets import alpha_clip, estimate_offsets
+from repro.forecasting.sample_hold import MeanForecaster, SampleHoldForecaster
+from repro.forecasting.stattools import (
+    acf,
+    aicc,
+    difference,
+    differencing_polynomial,
+    ljung_box,
+    pacf,
+    undifference_forecasts,
+)
+
+__all__ = [
+    "ArimaModel",
+    "ArimaOrder",
+    "AutoArima",
+    "candidate_orders",
+    "grid_search",
+    "Forecaster",
+    "HoltLinear",
+    "HoltWinters",
+    "SimpleExponentialSmoothing",
+    "YuleWalkerAR",
+    "fit_yule_walker",
+    "LstmForecaster",
+    "StackedLSTMNetwork",
+    "forecast_membership",
+    "membership_stability",
+    "alpha_clip",
+    "estimate_offsets",
+    "MeanForecaster",
+    "SampleHoldForecaster",
+    "acf",
+    "aicc",
+    "difference",
+    "differencing_polynomial",
+    "ljung_box",
+    "pacf",
+    "undifference_forecasts",
+]

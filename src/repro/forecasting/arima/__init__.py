@@ -1,0 +1,22 @@
+"""Seasonal ARIMA forecasting, implemented from scratch.
+
+``ArimaModel`` fits a fixed SARIMA order by conditional sum of squares;
+``grid_search``/``AutoArima`` select the order by AICc as in the paper.
+"""
+
+from repro.forecasting.arima.grid_search import (
+    AutoArima,
+    GridSearchResult,
+    candidate_orders,
+    grid_search,
+)
+from repro.forecasting.arima.model import ArimaModel, ArimaOrder
+
+__all__ = [
+    "ArimaModel",
+    "ArimaOrder",
+    "AutoArima",
+    "GridSearchResult",
+    "candidate_orders",
+    "grid_search",
+]

@@ -1,0 +1,185 @@
+"""AICc grid search over SARIMA orders (Sec. VI-A3).
+
+The paper selects the ARIMA order by fitting every combination in
+``p ∈ [0,5], d ∈ [0,2], q ∈ [0,5]`` (and seasonal ``P ∈ [0,2], D ∈ [0,1],
+Q ∈ [0,2]``) and keeping the model with the lowest corrected Akaike
+information criterion.  Orders that cannot be fitted (series too short,
+optimizer failure) are skipped rather than failing the search.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError, ReproError
+from repro.forecasting.arima.model import ArimaModel, ArimaOrder
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Outcome of an order search.
+
+    Attributes:
+        best_order: Order with the lowest criterion.
+        best_model: The fitted winning model.
+        scores: Every ``(order, aicc)`` pair evaluated, in search order.
+    """
+
+    best_order: ArimaOrder
+    best_model: ArimaModel
+    scores: Tuple[Tuple[ArimaOrder, float], ...]
+
+
+def candidate_orders(
+    max_p: int = 5,
+    max_d: int = 2,
+    max_q: int = 5,
+    max_P: int = 2,
+    max_D: int = 1,
+    max_Q: int = 2,
+    seasonal_period: int = 0,
+) -> List[ArimaOrder]:
+    """Enumerate the paper's grid of SARIMA orders.
+
+    When ``seasonal_period < 2`` the seasonal dimensions collapse to zero,
+    so the grid is the plain ARIMA one.
+    """
+    if seasonal_period >= 2:
+        seasonal = itertools.product(
+            range(max_P + 1), range(max_D + 1), range(max_Q + 1)
+        )
+        seasonal = list(seasonal)
+    else:
+        seasonal = [(0, 0, 0)]
+    orders = []
+    for p, d, q in itertools.product(
+        range(max_p + 1), range(max_d + 1), range(max_q + 1)
+    ):
+        for P, D, Q in seasonal:
+            orders.append(
+                ArimaOrder(
+                    p=p, d=d, q=q, P=P, D=D, Q=Q,
+                    s=seasonal_period if seasonal_period >= 2 else 0,
+                )
+            )
+    return orders
+
+
+def grid_search(
+    series: Sequence[float],
+    orders: Optional[Iterable[ArimaOrder]] = None,
+    *,
+    max_p: int = 5,
+    max_d: int = 2,
+    max_q: int = 5,
+    max_P: int = 2,
+    max_D: int = 1,
+    max_Q: int = 2,
+    seasonal_period: int = 0,
+) -> GridSearchResult:
+    """Fit all candidate orders and return the AICc winner.
+
+    Args:
+        series: Training series.
+        orders: Explicit candidate list; when omitted the grid defined by
+            the ``max_*`` bounds is used.
+
+    Raises:
+        ReproError: If no candidate order could be fitted at all.
+    """
+    values = np.asarray(list(series), dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise DataError("series must be a non-empty 1-D sequence")
+    if orders is None:
+        orders = candidate_orders(
+            max_p, max_d, max_q, max_P, max_D, max_Q, seasonal_period
+        )
+    orders = list(orders)
+    if not orders:
+        raise ConfigurationError("candidate order list is empty")
+
+    scores: List[Tuple[ArimaOrder, float]] = []
+    best_model: Optional[ArimaModel] = None
+    best_score = float("inf")
+    for order in orders:
+        try:
+            model = ArimaModel(order)
+            model.fit(values)
+            score = model.aicc
+        except ReproError as exc:
+            logger.debug("skipping %s: %s", order, exc)
+            scores.append((order, float("inf")))
+            continue
+        scores.append((order, score))
+        if score < best_score:
+            best_score = score
+            best_model = model
+    if best_model is None:
+        raise ReproError(
+            "no candidate ARIMA order could be fitted on the given series"
+        )
+    return GridSearchResult(
+        best_order=best_model.order,
+        best_model=best_model,
+        scores=tuple(scores),
+    )
+
+
+class AutoArima:
+    """A :class:`~repro.forecasting.base.Forecaster`-compatible wrapper
+    that re-runs the order search at every (re)fit.
+
+    Args:
+        max_p, max_d, max_q, max_P, max_D, max_Q: Grid bounds.
+        seasonal_period: Season length ``s``; < 2 disables seasonality.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_p: int = 2,
+        max_d: int = 1,
+        max_q: int = 2,
+        max_P: int = 0,
+        max_D: int = 0,
+        max_Q: int = 0,
+        seasonal_period: int = 0,
+    ) -> None:
+        self.bounds = dict(
+            max_p=max_p, max_d=max_d, max_q=max_q,
+            max_P=max_P, max_D=max_D, max_Q=max_Q,
+            seasonal_period=seasonal_period,
+        )
+        self._model: Optional[ArimaModel] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None and self._model.is_fitted
+
+    @property
+    def model(self) -> ArimaModel:
+        if self._model is None:
+            raise ReproError("AutoArima.fit has not been called")
+        return self._model
+
+    @property
+    def history(self) -> np.ndarray:
+        return self.model.history
+
+    def fit(self, series: Sequence[float]) -> "AutoArima":
+        result = grid_search(series, **self.bounds)
+        self._model = result.best_model
+        return self
+
+    def update(self, value: float) -> None:
+        self.model.update(value)
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        return self.model.forecast(horizon)

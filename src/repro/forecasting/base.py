@@ -1,0 +1,85 @@
+"""Abstract forecaster interface (Sec. V-C).
+
+A forecaster is trained on the time series of one cluster's centroids and
+produces multi-step-ahead forecasts.  Between (periodic) retrainings, new
+observations are fed in with :meth:`update` so forecasts always condition
+on the latest data — the paper calls this updating the model's transient
+state.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataError, NotFittedError
+
+
+class Forecaster(abc.ABC):
+    """One-dimensional time-series forecaster with online updates."""
+
+    def __init__(self) -> None:
+        self._history: list = []
+        self._fitted = False
+
+    @property
+    def history(self) -> np.ndarray:
+        """All observations seen so far (training data + updates)."""
+        return np.asarray(self._history, dtype=float)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def fit(self, series: Sequence[float]) -> "Forecaster":
+        """(Re)train the model on a full history.
+
+        Args:
+            series: The centroid time series observed so far.
+        """
+        values = np.asarray(list(series), dtype=float)
+        if values.ndim != 1:
+            raise DataError(f"series must be 1-D, got shape {values.shape}")
+        if values.size == 0:
+            raise DataError("series is empty")
+        if not np.isfinite(values).all():
+            raise DataError("series contains NaN or infinite values")
+        self._history = values.tolist()
+        self._fit(values)
+        self._fitted = True
+        return self
+
+    def update(self, value: float) -> None:
+        """Append one new observation without refitting parameters."""
+        if not np.isfinite(value):
+            raise DataError(f"observation must be finite, got {value}")
+        self._history.append(float(value))
+        self._update(float(value))
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Forecast ``horizon`` steps ahead of the latest observation.
+
+        Returns:
+            Array of shape ``(horizon,)`` with forecasts for steps
+            ``t+1 .. t+horizon``.
+        """
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__}.forecast called before fit"
+            )
+        if horizon < 1:
+            raise DataError(f"horizon must be >= 1, got {horizon}")
+        return self._forecast(horizon)
+
+    @abc.abstractmethod
+    def _fit(self, series: np.ndarray) -> None:
+        """Model-specific training."""
+
+    def _update(self, value: float) -> None:
+        """Model-specific state update; default is no-op (history suffices)."""
+
+    @abc.abstractmethod
+    def _forecast(self, horizon: int) -> np.ndarray:
+        """Model-specific forecasting."""

@@ -1,0 +1,247 @@
+"""Exponential-smoothing forecasters (the paper's "etc." models).
+
+Sec. V-C notes the per-cluster forecasting model "can include ARIMA,
+LSTM, etc.".  This module adds the classical exponential-smoothing
+family, which sits between sample-and-hold and ARIMA in cost:
+
+* :class:`SimpleExponentialSmoothing` — level only.
+* :class:`HoltLinear` — level + trend (damped optional).
+* :class:`HoltWinters` — level + trend + additive seasonality, suitable
+  for the diurnal structure of cluster workloads.
+
+Smoothing parameters are fitted by minimizing the in-sample one-step
+sum of squared errors with L-BFGS-B.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.forecasting.base import Forecaster
+
+
+class SimpleExponentialSmoothing(Forecaster):
+    """Level-only exponential smoothing: ``l_t = α·y_t + (1−α)·l_{t−1}``.
+
+    Args:
+        alpha: Fixed smoothing weight in (0, 1]; fitted from data when
+            None.
+    """
+
+    def __init__(self, alpha: Optional[float] = None) -> None:
+        super().__init__()
+        if alpha is not None and not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self._fixed_alpha = alpha
+        self.alpha = alpha if alpha is not None else 0.5
+        self._level = 0.0
+
+    @staticmethod
+    def _sse(alpha: float, series: np.ndarray) -> float:
+        level = series[0]
+        sse = 0.0
+        for value in series[1:]:
+            sse += (value - level) ** 2
+            level = alpha * value + (1.0 - alpha) * level
+        return sse
+
+    def _fit(self, series: np.ndarray) -> None:
+        if self._fixed_alpha is None and series.size >= 3:
+            result = optimize.minimize_scalar(
+                lambda a: self._sse(a, series),
+                bounds=(1e-4, 1.0),
+                method="bounded",
+            )
+            self.alpha = float(result.x)
+        self._level = series[0]
+        for value in series[1:]:
+            self._level = self.alpha * value + (1.0 - self.alpha) * self._level
+
+    def _update(self, value: float) -> None:
+        if self.is_fitted:
+            self._level = self.alpha * value + (1.0 - self.alpha) * self._level
+
+    def _forecast(self, horizon: int) -> np.ndarray:
+        return np.full(horizon, self._level)
+
+
+class HoltLinear(Forecaster):
+    """Holt's linear method: level + (optionally damped) trend.
+
+    Args:
+        damping: Trend damping φ in (0, 1]; 1 means undamped.
+    """
+
+    def __init__(self, damping: float = 0.98) -> None:
+        super().__init__()
+        if not 0.0 < damping <= 1.0:
+            raise ConfigurationError(f"damping must be in (0, 1], got {damping}")
+        self.damping = damping
+        self.alpha = 0.5
+        self.beta = 0.1
+        self._level = 0.0
+        self._trend = 0.0
+
+    def _run(
+        self, params: Tuple[float, float], series: np.ndarray
+    ) -> Tuple[float, float, float]:
+        alpha, beta = params
+        phi = self.damping
+        level = series[0]
+        trend = series[1] - series[0] if series.size > 1 else 0.0
+        sse = 0.0
+        for value in series[1:]:
+            prediction = level + phi * trend
+            sse += (value - prediction) ** 2
+            new_level = alpha * value + (1.0 - alpha) * prediction
+            trend = beta * (new_level - level) + (1.0 - beta) * phi * trend
+            level = new_level
+        return sse, level, trend
+
+    def _fit(self, series: np.ndarray) -> None:
+        if series.size < 2:
+            raise DataError("HoltLinear needs at least 2 observations")
+        result = optimize.minimize(
+            lambda p: self._run((p[0], p[1]), series)[0],
+            np.array([0.5, 0.1]),
+            method="L-BFGS-B",
+            bounds=[(1e-4, 1.0), (1e-4, 1.0)],
+        )
+        self.alpha, self.beta = (float(result.x[0]), float(result.x[1]))
+        _, self._level, self._trend = self._run(
+            (self.alpha, self.beta), series
+        )
+
+    def _update(self, value: float) -> None:
+        if not self.is_fitted:
+            return
+        phi = self.damping
+        prediction = self._level + phi * self._trend
+        new_level = self.alpha * value + (1.0 - self.alpha) * prediction
+        self._trend = (
+            self.beta * (new_level - self._level)
+            + (1.0 - self.beta) * phi * self._trend
+        )
+        self._level = new_level
+
+    def _forecast(self, horizon: int) -> np.ndarray:
+        phi = self.damping
+        # Damped-trend forecast: l + (φ + φ² + ... + φ^h) b
+        weights = np.cumsum(phi ** np.arange(1, horizon + 1))
+        return self._level + weights * self._trend
+
+
+class HoltWinters(Forecaster):
+    """Additive Holt–Winters: level + trend + seasonal component.
+
+    Args:
+        period: Season length (e.g. slots per day); must be >= 2.
+        damping: Trend damping φ in (0, 1].
+    """
+
+    def __init__(self, period: int, damping: float = 0.98) -> None:
+        super().__init__()
+        if period < 2:
+            raise ConfigurationError(f"period must be >= 2, got {period}")
+        if not 0.0 < damping <= 1.0:
+            raise ConfigurationError(f"damping must be in (0, 1], got {damping}")
+        self.period = period
+        self.damping = damping
+        self.alpha = 0.3
+        self.beta = 0.05
+        self.gamma_s = 0.1
+        self._level = 0.0
+        self._trend = 0.0
+        self._seasonal: Optional[np.ndarray] = None
+        self._season_index = 0
+
+    def _initial_state(
+        self, series: np.ndarray
+    ) -> Tuple[float, float, np.ndarray]:
+        m = self.period
+        first = series[:m]
+        level = float(first.mean())
+        if series.size >= 2 * m:
+            second = series[m : 2 * m]
+            trend = float((second.mean() - first.mean()) / m)
+        else:
+            trend = 0.0
+        seasonal = first - level
+        return level, trend, seasonal
+
+    def _run(
+        self, params: Tuple[float, float, float], series: np.ndarray
+    ) -> Tuple[float, float, float, np.ndarray, int]:
+        alpha, beta, gamma = params
+        phi = self.damping
+        m = self.period
+        level, trend, seasonal = self._initial_state(series)
+        seasonal = seasonal.copy()
+        sse = 0.0
+        for t in range(m, series.size):
+            s_idx = t % m
+            prediction = level + phi * trend + seasonal[s_idx]
+            error = series[t] - prediction
+            sse += error**2
+            new_level = alpha * (series[t] - seasonal[s_idx]) + (
+                1.0 - alpha
+            ) * (level + phi * trend)
+            trend = beta * (new_level - level) + (1.0 - beta) * phi * trend
+            seasonal[s_idx] = gamma * (series[t] - new_level) + (
+                1.0 - gamma
+            ) * seasonal[s_idx]
+            level = new_level
+        return sse, level, trend, seasonal, series.size % m
+
+    def _fit(self, series: np.ndarray) -> None:
+        if series.size < 2 * self.period:
+            raise DataError(
+                f"HoltWinters(period={self.period}) needs at least "
+                f"{2 * self.period} observations, got {series.size}"
+            )
+        result = optimize.minimize(
+            lambda p: self._run((p[0], p[1], p[2]), series)[0],
+            np.array([0.3, 0.05, 0.1]),
+            method="L-BFGS-B",
+            bounds=[(1e-4, 1.0)] * 3,
+        )
+        self.alpha, self.beta, self.gamma_s = (float(x) for x in result.x)
+        (_, self._level, self._trend,
+         self._seasonal, self._season_index) = self._run(
+            (self.alpha, self.beta, self.gamma_s), series
+        )
+
+    def _update(self, value: float) -> None:
+        if not self.is_fitted or self._seasonal is None:
+            return
+        phi = self.damping
+        s_idx = self._season_index
+        new_level = self.alpha * (value - self._seasonal[s_idx]) + (
+            1.0 - self.alpha
+        ) * (self._level + phi * self._trend)
+        self._trend = (
+            self.beta * (new_level - self._level)
+            + (1.0 - self.beta) * phi * self._trend
+        )
+        self._seasonal[s_idx] = self.gamma_s * (value - new_level) + (
+            1.0 - self.gamma_s
+        ) * self._seasonal[s_idx]
+        self._level = new_level
+        self._season_index = (s_idx + 1) % self.period
+
+    def _forecast(self, horizon: int) -> np.ndarray:
+        assert self._seasonal is not None
+        phi = self.damping
+        weights = np.cumsum(phi ** np.arange(1, horizon + 1))
+        out = np.empty(horizon)
+        for h in range(1, horizon + 1):
+            s_idx = (self._season_index + h - 1) % self.period
+            out[h - 1] = (
+                self._level + weights[h - 1] * self._trend
+                + self._seasonal[s_idx]
+            )
+        return out

@@ -1,0 +1,168 @@
+"""LSTM forecaster conforming to the library's ``Forecaster`` interface.
+
+Wraps :class:`StackedLSTMNetwork` with:
+
+* sliding-window supervised-dataset construction from the centroid series;
+* min–max input scaling (fitted on training data; ReLU output maps back to
+  the non-negative utilization range);
+* minibatch Adam training with gradient clipping;
+* recursive multi-step forecasting (feed predictions back in).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.forecasting.base import Forecaster
+from repro.forecasting.lstm.network import StackedLSTMNetwork
+from repro.forecasting.lstm.optimizers import Adam, clip_gradients
+
+
+def build_windows(
+    series: np.ndarray, lookback: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build a supervised dataset of (window, next value) pairs.
+
+    Args:
+        series: 1-D array of length ``n``.
+        lookback: Window length L.
+
+    Returns:
+        ``(windows, targets)`` with shapes ``(n−L, L, 1)`` and ``(n−L,)``.
+    """
+    x = np.asarray(series, dtype=float)
+    if x.ndim != 1:
+        raise DataError(f"series must be 1-D, got shape {x.shape}")
+    if x.size <= lookback:
+        raise DataError(
+            f"series of length {x.size} too short for lookback {lookback}"
+        )
+    count = x.size - lookback
+    windows = np.empty((count, lookback, 1))
+    targets = np.empty(count)
+    for idx in range(count):
+        windows[idx, :, 0] = x[idx : idx + lookback]
+        targets[idx] = x[idx + lookback]
+    return windows, targets
+
+
+class MinMaxScaler:
+    """Affine scaling of a series into [0, 1] with safe inversion."""
+
+    def __init__(self) -> None:
+        self.low = 0.0
+        self.span = 1.0
+
+    def fit(self, series: np.ndarray) -> "MinMaxScaler":
+        x = np.asarray(series, dtype=float)
+        self.low = float(x.min())
+        span = float(x.max() - x.min())
+        self.span = span if span > 1e-12 else 1.0
+        return self
+
+    def transform(self, series: np.ndarray) -> np.ndarray:
+        return (np.asarray(series, dtype=float) - self.low) / self.span
+
+    def inverse(self, series: np.ndarray) -> np.ndarray:
+        return np.asarray(series, dtype=float) * self.span + self.low
+
+
+class LstmForecaster(Forecaster):
+    """Stacked-LSTM time-series forecaster.
+
+    Args:
+        hidden_dim: Hidden units per LSTM layer.
+        lookback: Input window length.
+        epochs: Training epochs per (re)fit.
+        batch_size: Minibatch size.
+        learning_rate: Adam step size.
+        clip_norm: Global gradient-norm clip.
+        seed: Seed controlling weight init and batch shuffling; the paper
+            averages LSTM results over 10 runs because of this randomness.
+    """
+
+    def __init__(
+        self,
+        *,
+        hidden_dim: int = 32,
+        lookback: int = 16,
+        epochs: int = 30,
+        batch_size: int = 32,
+        learning_rate: float = 1e-2,
+        clip_norm: float = 5.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if lookback < 1:
+            raise ConfigurationError(f"lookback must be >= 1, got {lookback}")
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        self.hidden_dim = hidden_dim
+        self.lookback = lookback
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.clip_norm = clip_norm
+        self._rng = np.random.default_rng(seed)
+        self._network: Optional[StackedLSTMNetwork] = None
+        self._scaler = MinMaxScaler()
+        self._loss_history: List[float] = []
+
+    @property
+    def loss_history(self) -> np.ndarray:
+        """Mean epoch losses from the most recent fit."""
+        return np.asarray(self._loss_history, dtype=float)
+
+    def _fit(self, series: np.ndarray) -> None:
+        if series.size <= self.lookback:
+            raise DataError(
+                f"series of length {series.size} too short for lookback "
+                f"{self.lookback}"
+            )
+        self._scaler.fit(series)
+        scaled = self._scaler.transform(series)
+        windows, targets = build_windows(scaled, self.lookback)
+        network = StackedLSTMNetwork(
+            input_dim=1, hidden_dim=self.hidden_dim, output_dim=1,
+            rng=self._rng,
+        )
+        optimizer = Adam(network.layers, learning_rate=self.learning_rate)
+        count = windows.shape[0]
+        self._loss_history = []
+        for _ in range(self.epochs):
+            order = self._rng.permutation(count)
+            epoch_losses = []
+            for start in range(0, count, self.batch_size):
+                batch_idx = order[start : start + self.batch_size]
+                loss = network.loss_and_gradient(
+                    windows[batch_idx], targets[batch_idx]
+                )
+                clip_gradients(network.layers, self.clip_norm)
+                optimizer.step()
+                epoch_losses.append(loss)
+            self._loss_history.append(float(np.mean(epoch_losses)))
+        self._network = network
+
+    def _forecast(self, horizon: int) -> np.ndarray:
+        if self._network is None:
+            raise DataError("internal error: network missing after fit")
+        history = self.history
+        if history.size < self.lookback:
+            raise DataError(
+                f"need at least {self.lookback} observations to forecast"
+            )
+        window = self._scaler.transform(history[-self.lookback :]).tolist()
+        outputs = np.empty(horizon)
+        for h in range(horizon):
+            batch = np.asarray(window[-self.lookback :], dtype=float)
+            prediction = self._network.predict(
+                batch.reshape(1, self.lookback, 1)
+            )[0, 0]
+            window.append(float(prediction))
+            outputs[h] = prediction
+        return self._scaler.inverse(outputs)

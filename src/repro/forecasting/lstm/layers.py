@@ -1,0 +1,256 @@
+"""Neural-network layers implemented in pure numpy.
+
+Provides an LSTM layer with full backpropagation-through-time and a dense
+layer with optional ReLU activation — the building blocks of the paper's
+forecasting network (two stacked LSTM layers topped with a ReLU dense
+layer, Sec. VI-A3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=float)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+class Layer:
+    """Minimal layer protocol: named parameters + matching gradients."""
+
+    @property
+    def parameters(self) -> Dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    @property
+    def gradients(self) -> Dict[str, np.ndarray]:
+        raise NotImplementedError
+
+
+class LSTMLayer(Layer):
+    """Single LSTM layer processing full sequences.
+
+    Gate layout within the fused weight matrices is ``[i, f, g, o]``
+    (input, forget, candidate, output).  The forget-gate bias is
+    initialized to 1, the usual trick to avoid premature forgetting.
+
+    Args:
+        input_dim: Feature dimension of the inputs.
+        hidden_dim: Number of hidden units H.
+        rng: Generator for weight initialization.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if input_dim < 1 or hidden_dim < 1:
+            raise ConfigurationError("input_dim and hidden_dim must be >= 1")
+        if rng is None:
+            rng = np.random.default_rng()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        scale_w = 1.0 / np.sqrt(input_dim)
+        scale_u = 1.0 / np.sqrt(hidden_dim)
+        self.W = rng.uniform(-scale_w, scale_w, size=(input_dim, 4 * hidden_dim))
+        self.U = rng.uniform(-scale_u, scale_u, size=(hidden_dim, 4 * hidden_dim))
+        self.b = np.zeros(4 * hidden_dim)
+        self.b[hidden_dim : 2 * hidden_dim] = 1.0  # forget-gate bias
+        self.dW = np.zeros_like(self.W)
+        self.dU = np.zeros_like(self.U)
+        self.db = np.zeros_like(self.b)
+        self._cache: Optional[dict] = None
+
+    @property
+    def parameters(self) -> Dict[str, np.ndarray]:
+        return {"W": self.W, "U": self.U, "b": self.b}
+
+    @property
+    def gradients(self) -> Dict[str, np.ndarray]:
+        return {"W": self.dW, "U": self.dU, "b": self.db}
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the layer over a batch of sequences.
+
+        Args:
+            inputs: Shape ``(batch, time, input_dim)``.
+
+        Returns:
+            Hidden states of shape ``(batch, time, hidden_dim)``.
+        """
+        x = np.asarray(inputs, dtype=float)
+        if x.ndim != 3 or x.shape[2] != self.input_dim:
+            raise DataError(
+                f"inputs must be (B, T, {self.input_dim}), got {x.shape}"
+            )
+        batch, steps, _ = x.shape
+        hidden = self.hidden_dim
+        h = np.zeros((batch, hidden))
+        c = np.zeros((batch, hidden))
+        h_seq = np.zeros((batch, steps, hidden))
+        gates_seq = np.zeros((batch, steps, 4 * hidden))
+        c_seq = np.zeros((batch, steps, hidden))
+        c_prev_seq = np.zeros((batch, steps, hidden))
+        h_prev_seq = np.zeros((batch, steps, hidden))
+        for t in range(steps):
+            z = x[:, t, :] @ self.W + h @ self.U + self.b
+            i = sigmoid(z[:, :hidden])
+            f = sigmoid(z[:, hidden : 2 * hidden])
+            g = np.tanh(z[:, 2 * hidden : 3 * hidden])
+            o = sigmoid(z[:, 3 * hidden :])
+            c_prev_seq[:, t, :] = c
+            h_prev_seq[:, t, :] = h
+            c = f * c + i * g
+            h = o * np.tanh(c)
+            h_seq[:, t, :] = h
+            c_seq[:, t, :] = c
+            gates_seq[:, t, :] = np.concatenate([i, f, g, o], axis=1)
+        self._cache = {
+            "x": x,
+            "h_seq": h_seq,
+            "c_seq": c_seq,
+            "c_prev_seq": c_prev_seq,
+            "h_prev_seq": h_prev_seq,
+            "gates_seq": gates_seq,
+        }
+        return h_seq
+
+    def backward(self, grad_h_seq: np.ndarray) -> np.ndarray:
+        """Backpropagate through time.
+
+        Args:
+            grad_h_seq: Gradient of the loss w.r.t. every hidden state,
+                shape ``(batch, time, hidden_dim)``.
+
+        Returns:
+            Gradient w.r.t. the inputs, shape ``(batch, time, input_dim)``.
+        """
+        if self._cache is None:
+            raise DataError("backward called before forward")
+        cache = self._cache
+        x = cache["x"]
+        batch, steps, _ = x.shape
+        hidden = self.hidden_dim
+        grad = np.asarray(grad_h_seq, dtype=float)
+        if grad.shape != (batch, steps, hidden):
+            raise DataError(
+                f"grad_h_seq must be {(batch, steps, hidden)}, got {grad.shape}"
+            )
+
+        self.dW[:] = 0.0
+        self.dU[:] = 0.0
+        self.db[:] = 0.0
+        dx = np.zeros_like(x)
+        dh_next = np.zeros((batch, hidden))
+        dc_next = np.zeros((batch, hidden))
+        for t in range(steps - 1, -1, -1):
+            gates = cache["gates_seq"][:, t, :]
+            i = gates[:, :hidden]
+            f = gates[:, hidden : 2 * hidden]
+            g = gates[:, 2 * hidden : 3 * hidden]
+            o = gates[:, 3 * hidden :]
+            c = cache["c_seq"][:, t, :]
+            c_prev = cache["c_prev_seq"][:, t, :]
+            h_prev = cache["h_prev_seq"][:, t, :]
+            tanh_c = np.tanh(c)
+
+            dh = grad[:, t, :] + dh_next
+            do = dh * tanh_c
+            dc = dh * o * (1.0 - tanh_c**2) + dc_next
+            di = dc * g
+            df = dc * c_prev
+            dg = dc * i
+            dc_next = dc * f
+
+            dz_i = di * i * (1.0 - i)
+            dz_f = df * f * (1.0 - f)
+            dz_g = dg * (1.0 - g**2)
+            dz_o = do * o * (1.0 - o)
+            dz = np.concatenate([dz_i, dz_f, dz_g, dz_o], axis=1)
+
+            self.dW += x[:, t, :].T @ dz
+            self.dU += h_prev.T @ dz
+            self.db += dz.sum(axis=0)
+            dx[:, t, :] = dz @ self.W.T
+            dh_next = dz @ self.U.T
+        return dx
+
+
+class DenseLayer(Layer):
+    """Fully connected layer with optional ReLU activation.
+
+    Args:
+        input_dim: Input feature dimension.
+        output_dim: Output dimension.
+        activation: ``"relu"`` or ``"linear"``.
+        bias_init: Initial bias value.  For a ReLU *output* head in
+            regression, a positive bias (e.g. the centre of the scaled
+            target range) keeps the unit alive at initialization —
+            otherwise unlucky seeds start with a dead output neuron that
+            gradient descent can never revive (its gradient is zero).
+        rng: Generator for weight initialization.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        output_dim: int,
+        *,
+        activation: str = "relu",
+        bias_init: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if activation not in ("relu", "linear"):
+            raise ConfigurationError(
+                f"activation must be 'relu' or 'linear', got {activation!r}"
+            )
+        if rng is None:
+            rng = np.random.default_rng()
+        scale = 1.0 / np.sqrt(input_dim)
+        self.W = rng.uniform(-scale, scale, size=(input_dim, output_dim))
+        self.b = np.full(output_dim, float(bias_init))
+        self.activation = activation
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    @property
+    def parameters(self) -> Dict[str, np.ndarray]:
+        return {"W": self.W, "b": self.b}
+
+    @property
+    def gradients(self) -> Dict[str, np.ndarray]:
+        return {"W": self.dW, "b": self.db}
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Apply the affine map (+ activation) to ``(batch, input_dim)``."""
+        x = np.asarray(inputs, dtype=float)
+        pre = x @ self.W + self.b
+        out = np.maximum(pre, 0.0) if self.activation == "relu" else pre
+        self._cache = (x, pre)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate; returns gradient w.r.t. the inputs."""
+        if self._cache is None:
+            raise DataError("backward called before forward")
+        x, pre = self._cache
+        grad = np.asarray(grad_output, dtype=float)
+        if self.activation == "relu":
+            grad = grad * (pre > 0)
+        self.dW[:] = x.T @ grad
+        self.db[:] = grad.sum(axis=0)
+        return grad @ self.W.T

@@ -1,0 +1,111 @@
+"""The paper's forecasting network: two stacked LSTMs + ReLU dense head.
+
+Sec. VI-A3: "we stacked two LSTM layers, and on top of that we stacked a
+dense layer with a rectified linear unit (ReLU) as activation function."
+The network maps an input window of ``lookback`` past values to a scalar
+one-step-ahead prediction; multi-step forecasts are produced recursively.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.forecasting.lstm.layers import DenseLayer, Layer, LSTMLayer
+
+
+class StackedLSTMNetwork:
+    """Two stacked LSTM layers followed by a ReLU dense output layer.
+
+    Args:
+        input_dim: Features per time step (1 for univariate centroids).
+        hidden_dim: Hidden units in each LSTM layer.
+        output_dim: Output dimension (1 for scalar forecasts).
+        rng: Generator for weight initialization (reproducibility).
+    """
+
+    def __init__(
+        self,
+        input_dim: int = 1,
+        hidden_dim: int = 32,
+        output_dim: int = 1,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if rng is None:
+            rng = np.random.default_rng()
+        self.lstm1 = LSTMLayer(input_dim, hidden_dim, rng=rng)
+        self.lstm2 = LSTMLayer(hidden_dim, hidden_dim, rng=rng)
+        # Targets are min-max scaled into [0, 1]; a 0.5 bias starts the
+        # ReLU head at the centre of that range and alive (see DenseLayer).
+        self.head = DenseLayer(
+            hidden_dim, output_dim, activation="relu", bias_init=0.5, rng=rng
+        )
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.output_dim = output_dim
+
+    @property
+    def layers(self) -> List[Layer]:
+        return [self.lstm1, self.lstm2, self.head]
+
+    def forward(self, windows: np.ndarray) -> np.ndarray:
+        """Predict from input windows.
+
+        Args:
+            windows: Shape ``(batch, lookback, input_dim)``.
+
+        Returns:
+            Predictions of shape ``(batch, output_dim)``.
+        """
+        x = np.asarray(windows, dtype=float)
+        if x.ndim != 3:
+            raise DataError(f"windows must be 3-D, got shape {x.shape}")
+        h1 = self.lstm1.forward(x)
+        h2 = self.lstm2.forward(h1)
+        return self.head.forward(h2[:, -1, :])
+
+    def backward(self, grad_predictions: np.ndarray) -> None:
+        """Backpropagate gradients of the loss w.r.t. the predictions."""
+        grad_last = self.head.backward(grad_predictions)
+        batch = grad_last.shape[0]
+        steps = self.lstm2._cache["x"].shape[1] if self.lstm2._cache else 0
+        if steps == 0:
+            raise DataError("backward called before forward")
+        grad_h2 = np.zeros((batch, steps, self.hidden_dim))
+        grad_h2[:, -1, :] = grad_last
+        grad_h1 = self.lstm2.backward(grad_h2)
+        self.lstm1.backward(grad_h1)
+
+    def loss_and_gradient(
+        self, windows: np.ndarray, targets: np.ndarray
+    ) -> float:
+        """One forward/backward pass with MSE loss.
+
+        Args:
+            windows: Shape ``(batch, lookback, input_dim)``.
+            targets: Shape ``(batch, output_dim)`` (or ``(batch,)``).
+
+        Returns:
+            The mean-squared-error loss; layer gradients are left ready
+            for an optimizer step.
+        """
+        y = np.asarray(targets, dtype=float)
+        if y.ndim == 1:
+            y = y[:, np.newaxis]
+        predictions = self.forward(windows)
+        if predictions.shape != y.shape:
+            raise DataError(
+                f"targets shape {y.shape} != predictions {predictions.shape}"
+            )
+        batch = y.shape[0]
+        error = predictions - y
+        loss = float(np.mean(error**2))
+        self.backward(2.0 * error / error.size)
+        return loss
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Forward pass without caching intent (alias of :meth:`forward`)."""
+        return self.forward(windows)

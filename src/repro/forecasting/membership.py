@@ -1,0 +1,70 @@
+"""Forecasting future cluster membership (Sec. V-C).
+
+At time ``t`` the paper predicts that node ``i`` will belong, at any
+future step ``t + h``, to the cluster it occupied most frequently during
+the look-back interval ``[t − M', t]`` (ties broken toward the most
+recent occupancy).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+
+
+def forecast_membership(
+    label_history: Sequence[np.ndarray], lookback: int
+) -> np.ndarray:
+    """Majority-vote membership forecast.
+
+    Args:
+        label_history: Per-slot label arrays, oldest first; each has shape
+            ``(N,)``.  Only the last ``lookback + 1`` entries (the paper's
+            ``[t − M', t]`` window) are used.
+        lookback: The look-back ``M'``.
+
+    Returns:
+        Array of shape ``(N,)``: the forecasted cluster of each node.
+    """
+    if lookback < 0:
+        raise ConfigurationError(f"lookback must be >= 0, got {lookback}")
+    if not label_history:
+        raise DataError("label_history is empty")
+    window = [np.asarray(l, dtype=int) for l in label_history[-(lookback + 1):]]
+    num_nodes = window[0].shape[0]
+    if any(l.shape != (num_nodes,) for l in window):
+        raise DataError("label arrays in history have inconsistent shapes")
+    stacked = np.stack(window)  # (W, N)
+    num_clusters = int(stacked.max()) + 1
+    forecast = np.empty(num_nodes, dtype=int)
+    for i in range(num_nodes):
+        counts = np.bincount(stacked[:, i], minlength=num_clusters)
+        best = counts.max()
+        # Tie-break toward the most recently occupied cluster among the
+        # maximal ones, which keeps the forecast stable under oscillation.
+        candidates = np.flatnonzero(counts == best)
+        if candidates.size == 1:
+            forecast[i] = candidates[0]
+        else:
+            recent = stacked[::-1, i]
+            for label in recent:
+                if label in candidates:
+                    forecast[i] = label
+                    break
+    return forecast
+
+
+def membership_stability(label_history: Sequence[np.ndarray]) -> float:
+    """Fraction of nodes whose cluster did not change across the window.
+
+    A diagnostic used in tests and ablations: values near 1 mean cluster
+    identities persist, which is when centroid forecasting is meaningful.
+    """
+    if len(label_history) < 2:
+        return 1.0
+    stacked = np.stack([np.asarray(l, dtype=int) for l in label_history])
+    stable = np.all(stacked == stacked[0], axis=0)
+    return float(np.mean(stable))

@@ -1,0 +1,46 @@
+"""Sample-and-hold forecaster (Sec. VI-D1).
+
+The simplest possible predictor: the forecast for every future step is
+the most recent observation.  The paper uses it both as a baseline and as
+the default forecaster for parameter studies (Tables III, Figs. 10–11),
+noting it is cheap enough to run per node (K = N)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecasting.base import Forecaster
+
+
+class SampleHoldForecaster(Forecaster):
+    """Predicts every horizon with the latest observed value."""
+
+    def _fit(self, series: np.ndarray) -> None:
+        # No parameters: the history kept by the base class is the model.
+        pass
+
+    def _forecast(self, horizon: int) -> np.ndarray:
+        last = self.history[-1]
+        return np.full(horizon, float(last))
+
+
+class MeanForecaster(Forecaster):
+    """Predicts every horizon with the long-term mean of the history.
+
+    This is the offline "long-term statistics" mechanism whose error the
+    paper upper-bounds by the standard deviation (Sec. VI-D1).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mean = 0.0
+
+    def _fit(self, series: np.ndarray) -> None:
+        self._mean = float(series.mean())
+
+    def _update(self, value: float) -> None:
+        # Keep the running mean consistent with the full history.
+        self._mean = float(np.mean(self._history))
+
+    def _forecast(self, horizon: int) -> np.ndarray:
+        return np.full(horizon, self._mean)

@@ -1,0 +1,95 @@
+"""AR(p) fitting via the Yule–Walker equations.
+
+A fast, closed-form alternative to CSS optimization for pure
+autoregressive models: the AR coefficients solve the Toeplitz system
+``R φ = r`` built from sample autocorrelations.  Useful when the
+controller retrains thousands of per-cluster models and the optimizer
+cost of full ARIMA matters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.linalg import solve_toeplitz
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.forecasting.base import Forecaster
+from repro.forecasting.stattools import acf
+
+
+def fit_yule_walker(series: np.ndarray, order: int) -> np.ndarray:
+    """Solve the Yule–Walker equations for AR coefficients.
+
+    Args:
+        series: 1-D observations.
+        order: AR order p >= 1.
+
+    Returns:
+        Coefficients ``φ_1..φ_p`` of ``y_t = μ + Σ φ_i (y_{t−i} − μ)``.
+    """
+    x = np.asarray(series, dtype=float)
+    if x.ndim != 1:
+        raise DataError(f"series must be 1-D, got shape {x.shape}")
+    if order < 1:
+        raise ConfigurationError(f"order must be >= 1, got {order}")
+    if x.size <= order + 1:
+        raise DataError(
+            f"series of length {x.size} too short for AR({order})"
+        )
+    rho = acf(x, order)
+    if np.allclose(rho[1:], 0.0) and rho[0] == 1.0 and x.std() == 0.0:
+        return np.zeros(order)
+    # Toeplitz system: first column/row are rho[0..p-1].
+    column = rho[:order]
+    rhs = rho[1 : order + 1]
+    try:
+        return solve_toeplitz((column, column), rhs)
+    except np.linalg.LinAlgError:
+        return np.zeros(order)
+
+
+class YuleWalkerAR(Forecaster):
+    """AR(p) forecaster fitted by Yule–Walker.
+
+    Args:
+        order: AR order p.
+    """
+
+    def __init__(self, order: int = 2) -> None:
+        super().__init__()
+        if order < 1:
+            raise ConfigurationError(f"order must be >= 1, got {order}")
+        self.order = order
+        self._coefficients = np.zeros(order)
+        self._mean = 0.0
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        return self._coefficients.copy()
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def _fit(self, series: np.ndarray) -> None:
+        self._mean = float(series.mean())
+        self._coefficients = fit_yule_walker(series, self.order)
+
+    def _forecast(self, horizon: int) -> np.ndarray:
+        history = self.history
+        if history.size < self.order:
+            raise DataError(
+                f"need at least {self.order} observations to forecast"
+            )
+        centered = list(history[-self.order :] - self._mean)
+        out = np.empty(horizon)
+        for h in range(horizon):
+            value = float(
+                np.dot(self._coefficients, centered[::-1][: self.order])
+            )
+            centered.append(value)
+            centered.pop(0)
+            out[h] = value + self._mean
+        return out

@@ -1,0 +1,267 @@
+"""Train/test monitoring schemes for the Sec. VI-E comparison.
+
+The setting (from [3]): a *training phase* where every node transmits
+(B = 1) is used to pick ``K ≪ N`` monitors; during the *testing phase*
+only the monitors transmit (B = K/N) and the controller estimates all
+other nodes from the monitor readings.  There is no temporal forecasting.
+
+Five schemes are implemented, matching Fig. 12 / Table IV:
+
+* ``ProposedMonitorScheme`` — the paper's adaptation of its clustering:
+  K-means over nodes (feature = the node's training time series), the
+  node nearest each centroid becomes the monitor, and every node in a
+  cluster is estimated by its monitor's reading.
+* ``MinimumDistanceScheme`` — random monitors, other nodes assigned to
+  the nearest monitor (in training-series distance).
+* ``TopWScheme`` / ``BatchSelectionScheme`` — Gaussian model with the
+  respective selection strategy, conditional-Gaussian inference.
+* ``TopWUpdateScheme`` — Top-W that, during testing, keeps appending the
+  reconstructed rows to its sample buffer and periodically re-estimates
+  the covariance and re-selects monitors (much more expensive — the
+  Table IV point).
+"""
+
+from __future__ import annotations
+
+import abc
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.clustering.kmeans import kmeans
+from repro.core.metrics import instantaneous_rmse, time_averaged_rmse
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.gaussian.covariance import GaussianModel, estimate_gaussian
+from repro.gaussian.inference import infer_unobserved
+from repro.gaussian.selection import (
+    batch_selection,
+    random_selection,
+    top_w_selection,
+)
+
+
+class MonitoringScheme(abc.ABC):
+    """Train-then-monitor estimation scheme."""
+
+    name: str = "abstract"
+
+    def __init__(self, num_monitors: int) -> None:
+        if num_monitors < 1:
+            raise ConfigurationError("num_monitors must be >= 1")
+        self.num_monitors = num_monitors
+        self._monitors: Optional[List[int]] = None
+
+    @property
+    def monitors(self) -> List[int]:
+        if self._monitors is None:
+            raise NotFittedError(f"{self.name}: train() has not been called")
+        return self._monitors
+
+    @abc.abstractmethod
+    def train(self, train_data: np.ndarray) -> None:
+        """Fit from the all-transmit training phase, shape ``(T, N)``."""
+
+    @abc.abstractmethod
+    def estimate_step(self, true_row: np.ndarray) -> np.ndarray:
+        """Estimate all nodes from monitor observations of one test slot.
+
+        Args:
+            true_row: The true values ``(N,)``; the scheme may only read
+                the entries at its monitor indices.
+        """
+
+    def _observe(self, true_row: np.ndarray) -> np.ndarray:
+        row = np.asarray(true_row, dtype=float)
+        return row[np.asarray(self.monitors, dtype=int)]
+
+
+class ProposedMonitorScheme(MonitoringScheme):
+    """The paper's clustering-based monitor selection (Sec. VI-E)."""
+
+    name = "proposed"
+
+    def __init__(self, num_monitors: int, *, seed: Optional[int] = 0) -> None:
+        super().__init__(num_monitors)
+        self._rng = np.random.default_rng(seed)
+        self._assignment: Optional[np.ndarray] = None
+
+    def train(self, train_data: np.ndarray) -> None:
+        data = np.asarray(train_data, dtype=float)
+        if data.ndim != 2:
+            raise DataError(f"train_data must be (T, N), got {data.shape}")
+        features = data.T  # one row per node: its training time series
+        result = kmeans(
+            features, self.num_monitors, restarts=3, rng=self._rng
+        )
+        monitors: List[int] = []
+        assignment = result.labels.copy()
+        for j in range(self.num_monitors):
+            members = np.flatnonzero(result.labels == j)
+            diffs = features[members] - result.centroids[j]
+            monitor = members[int(np.argmin(np.einsum("nd,nd->n", diffs, diffs)))]
+            monitors.append(int(monitor))
+        self._monitors = monitors
+        self._assignment = assignment
+
+    def estimate_step(self, true_row: np.ndarray) -> np.ndarray:
+        if self._assignment is None:
+            raise NotFittedError("train() has not been called")
+        observed = self._observe(true_row)
+        return observed[self._assignment]
+
+
+class MinimumDistanceScheme(MonitoringScheme):
+    """Random monitors + nearest-monitor assignment (Sec. VI-E baseline)."""
+
+    name = "minimum_distance"
+
+    def __init__(self, num_monitors: int, *, seed: Optional[int] = 0) -> None:
+        super().__init__(num_monitors)
+        self._rng = np.random.default_rng(seed)
+        self._assignment: Optional[np.ndarray] = None
+
+    def train(self, train_data: np.ndarray) -> None:
+        data = np.asarray(train_data, dtype=float)
+        if data.ndim != 2:
+            raise DataError(f"train_data must be (T, N), got {data.shape}")
+        num_nodes = data.shape[1]
+        monitors = random_selection(num_nodes, self.num_monitors, self._rng)
+        features = data.T
+        monitor_features = features[monitors]
+        diff = features[:, np.newaxis, :] - monitor_features[np.newaxis, :, :]
+        sq = np.einsum("nkd,nkd->nk", diff, diff)
+        assignment = np.argmin(sq, axis=1)
+        for j, monitor in enumerate(monitors):
+            assignment[monitor] = j
+        self._monitors = monitors
+        self._assignment = assignment
+
+    def estimate_step(self, true_row: np.ndarray) -> np.ndarray:
+        if self._assignment is None:
+            raise NotFittedError("train() has not been called")
+        observed = self._observe(true_row)
+        return observed[self._assignment]
+
+
+class TopWScheme(MonitoringScheme):
+    """Gaussian model + Top-W one-shot monitor selection."""
+
+    name = "top_w"
+
+    def __init__(self, num_monitors: int, *, shrinkage: float = 0.0) -> None:
+        super().__init__(num_monitors)
+        self.shrinkage = shrinkage
+        self._model: Optional[GaussianModel] = None
+
+    def train(self, train_data: np.ndarray) -> None:
+        self._model = estimate_gaussian(train_data, shrinkage=self.shrinkage)
+        self._monitors = top_w_selection(self._model, self.num_monitors)
+
+    def estimate_step(self, true_row: np.ndarray) -> np.ndarray:
+        if self._model is None:
+            raise NotFittedError("train() has not been called")
+        observed = self._observe(true_row)
+        return infer_unobserved(self._model, self.monitors, observed)
+
+
+class BatchSelectionScheme(TopWScheme):
+    """Gaussian model + greedy joint (batch) monitor selection."""
+
+    name = "batch_selection"
+
+    def train(self, train_data: np.ndarray) -> None:
+        self._model = estimate_gaussian(train_data, shrinkage=self.shrinkage)
+        self._monitors = batch_selection(self._model, self.num_monitors)
+
+
+class TopWUpdateScheme(TopWScheme):
+    """Top-W with periodic covariance re-estimation during testing."""
+
+    name = "top_w_update"
+
+    def __init__(
+        self,
+        num_monitors: int,
+        *,
+        shrinkage: float = 0.0,
+        update_interval: int = 25,
+        buffer_limit: int = 2000,
+    ) -> None:
+        super().__init__(num_monitors, shrinkage=shrinkage)
+        if update_interval < 1:
+            raise ConfigurationError("update_interval must be >= 1")
+        self.update_interval = update_interval
+        self.buffer_limit = buffer_limit
+        self._buffer: List[np.ndarray] = []
+        self._steps_since_update = 0
+
+    def train(self, train_data: np.ndarray) -> None:
+        super().train(train_data)
+        self._buffer = [row.copy() for row in np.asarray(train_data, float)]
+        self._steps_since_update = 0
+
+    def estimate_step(self, true_row: np.ndarray) -> np.ndarray:
+        estimate = super().estimate_step(true_row)
+        # Feed the reconstructed row back into the sample buffer; the
+        # monitors contribute truth, the rest contribute inferences.
+        self._buffer.append(estimate.copy())
+        if len(self._buffer) > self.buffer_limit:
+            self._buffer = self._buffer[-self.buffer_limit :]
+        self._steps_since_update += 1
+        if self._steps_since_update >= self.update_interval:
+            data = np.asarray(self._buffer)
+            self._model = estimate_gaussian(data, shrinkage=self.shrinkage)
+            self._monitors = top_w_selection(self._model, self.num_monitors)
+            self._steps_since_update = 0
+        return estimate
+
+
+@dataclass
+class MonitoringEvaluation:
+    """RMSE and wall-clock of one scheme on one train/test split.
+
+    Attributes:
+        scheme: The scheme's name.
+        rmse: Time-averaged RMSE over the testing phase (Eq. 4 style).
+        train_seconds: Wall-clock of the training phase.
+        test_seconds: Wall-clock of the testing phase.
+    """
+
+    scheme: str
+    rmse: float
+    train_seconds: float
+    test_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.train_seconds + self.test_seconds
+
+
+def evaluate_scheme(
+    scheme: MonitoringScheme,
+    train_data: np.ndarray,
+    test_data: np.ndarray,
+) -> MonitoringEvaluation:
+    """Run the full train/test protocol and measure error and time."""
+    train = np.asarray(train_data, dtype=float)
+    test = np.asarray(test_data, dtype=float)
+    if train.ndim != 2 or test.ndim != 2 or train.shape[1] != test.shape[1]:
+        raise DataError("train/test must be (T, N) with matching N")
+    start = _time.perf_counter()
+    scheme.train(train)
+    train_seconds = _time.perf_counter() - start
+
+    errors = []
+    start = _time.perf_counter()
+    for t in range(test.shape[0]):
+        estimate = scheme.estimate_step(test[t])
+        errors.append(instantaneous_rmse(estimate, test[t]))
+    test_seconds = _time.perf_counter() - start
+    return MonitoringEvaluation(
+        scheme=scheme.name,
+        rmse=time_averaged_rmse(errors),
+        train_seconds=train_seconds,
+        test_seconds=test_seconds,
+    )

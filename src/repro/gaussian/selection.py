@@ -1,0 +1,98 @@
+"""Monitor-selection strategies of the Gaussian baseline family.
+
+The paper compares against three algorithms from Silvestri et al.
+(ICDCS 2015) without restating them; our implementations follow the
+descriptions in that line of work (see DESIGN.md §3 for the
+interpretation note):
+
+* **Top-W** — rank nodes by how strongly they explain the rest of the
+  system (aggregate squared correlation) and keep the top W.
+* **Batch Selection** — greedy forward selection that, at every step,
+  adds the node giving the largest reduction in total posterior variance
+  of the still-unobserved nodes (a submodular variance-reduction
+  objective, evaluated jointly on the batch).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.gaussian.covariance import GaussianModel
+
+
+def top_w_selection(model: GaussianModel, num_monitors: int) -> List[int]:
+    """Select the W nodes with the largest aggregate squared correlation.
+
+    A node that is strongly correlated with many others is a good
+    predictor of the whole system; ranking by ``Σ_j corr(i, j)²`` keeps
+    the W most informative individual nodes (without accounting for
+    redundancy among them — that is Batch Selection's job).
+    """
+    _check_count(model, num_monitors)
+    corr = model.correlation()
+    weight = (corr**2).sum(axis=1)
+    order = np.argsort(-weight)
+    return sorted(int(i) for i in order[:num_monitors])
+
+
+def batch_selection(model: GaussianModel, num_monitors: int) -> List[int]:
+    """Greedy joint selection minimizing total posterior variance.
+
+    At each round the candidate ``s`` maximizing the variance reduction
+    ``Σ_j Σ[j, s]² / Σ[s, s]`` on the *current residual covariance* is
+    added, and the covariance is deflated by the chosen node's
+    contribution (Schur complement step).  This accounts for redundancy:
+    two highly correlated nodes will not both be picked early.
+    """
+    _check_count(model, num_monitors)
+    residual = model.covariance.copy()
+    num_nodes = model.num_nodes
+    chosen: List[int] = []
+    available = np.ones(num_nodes, dtype=bool)
+    for _ in range(num_monitors):
+        variances = np.diag(residual)
+        gains = np.where(
+            variances > 1e-12,
+            (residual**2).sum(axis=0) / np.maximum(variances, 1e-12),
+            -np.inf,
+        )
+        gains = np.where(available, gains, -np.inf)
+        best = int(np.argmax(gains))
+        if not np.isfinite(gains[best]):
+            # Everything remaining is deterministic given the chosen set;
+            # fill with arbitrary available nodes.
+            best = int(np.flatnonzero(available)[0])
+        chosen.append(best)
+        available[best] = False
+        pivot = residual[best, best]
+        if pivot > 1e-12:
+            column = residual[:, best].copy()
+            residual -= np.outer(column, column) / pivot
+    return sorted(chosen)
+
+
+def random_selection(
+    num_nodes: int, num_monitors: int, rng: np.random.Generator
+) -> List[int]:
+    """Uniformly random monitor set (the minimum-distance baseline)."""
+    if num_monitors > num_nodes:
+        raise ConfigurationError(
+            f"cannot select {num_monitors} monitors from {num_nodes} nodes"
+        )
+    chosen = rng.choice(num_nodes, size=num_monitors, replace=False)
+    return sorted(int(i) for i in chosen)
+
+
+def _check_count(model: GaussianModel, num_monitors: int) -> None:
+    if num_monitors < 1:
+        raise ConfigurationError(
+            f"num_monitors must be >= 1, got {num_monitors}"
+        )
+    if num_monitors > model.num_nodes:
+        raise ConfigurationError(
+            f"cannot select {num_monitors} monitors from "
+            f"{model.num_nodes} nodes"
+        )

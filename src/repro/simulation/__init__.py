@@ -1,0 +1,33 @@
+"""Time-slotted simulation substrate: nodes, transport, central store."""
+
+from repro.simulation.collection import (
+    CollectionResult,
+    CollectionSimulation,
+    simulate_adaptive_collection,
+    simulate_uniform_collection,
+)
+from repro.simulation.controller import CentralStore
+from repro.simulation.node import LocalNode
+from repro.simulation.transport import Channel, TransportStats
+
+
+def __getattr__(name):
+    # MonitoringSystem pulls in repro.core.pipeline, which itself imports
+    # repro.simulation.collection; resolving it lazily breaks the cycle.
+    if name == "MonitoringSystem":
+        from repro.simulation.system import MonitoringSystem
+
+        return MonitoringSystem
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CollectionResult",
+    "CollectionSimulation",
+    "simulate_adaptive_collection",
+    "simulate_uniform_collection",
+    "CentralStore",
+    "LocalNode",
+    "MonitoringSystem",
+    "Channel",
+    "TransportStats",
+]

@@ -1,0 +1,81 @@
+"""Central node (controller) state (Sec. IV).
+
+The controller keeps the latest received measurement per node — the
+vector ``z_t`` — applying the paper's staleness rule: when node ``i``
+does not transmit at slot ``t``, ``z_{i,t}`` keeps the most recent
+previously received value ``x_{i,t−p}``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.types import Measurement
+from repro.exceptions import SimulationError
+
+
+class CentralStore:
+    """The controller's per-node measurement store ``z``.
+
+    Args:
+        num_nodes: Number of local nodes N.
+        dimension: Resource dimensionality d.
+    """
+
+    def __init__(self, num_nodes: int, dimension: int) -> None:
+        if num_nodes < 1 or dimension < 1:
+            raise SimulationError("num_nodes and dimension must be >= 1")
+        self.num_nodes = num_nodes
+        self.dimension = dimension
+        self._values = np.zeros((num_nodes, dimension))
+        self._last_update = np.full(num_nodes, -1, dtype=int)
+        self._time = -1
+
+    @property
+    def values(self) -> np.ndarray:
+        """Current stored matrix ``z_t`` of shape ``(N, d)`` (a copy)."""
+        return self._values.copy()
+
+    @property
+    def last_update(self) -> np.ndarray:
+        """Per-node slot index of the last received measurement."""
+        return self._last_update.copy()
+
+    @property
+    def initialized(self) -> bool:
+        """True once every node has transmitted at least once."""
+        return bool((self._last_update >= 0).all())
+
+    def staleness(self, now: int) -> np.ndarray:
+        """Per-node age ``p`` such that ``z_{i,now} = x_{i,now−p}``."""
+        if not self.initialized:
+            raise SimulationError(
+                "staleness undefined before every node has reported once"
+            )
+        return now - self._last_update
+
+    def apply(self, measurements: Iterable[Measurement], now: int) -> None:
+        """Ingest one slot's received measurements.
+
+        Args:
+            measurements: Messages delivered at slot ``now``.
+            now: The current slot index (must be non-decreasing).
+        """
+        if now < self._time:
+            raise SimulationError(
+                f"time went backwards: {now} after {self._time}"
+            )
+        self._time = now
+        for measurement in measurements:
+            i = measurement.node
+            if not 0 <= i < self.num_nodes:
+                raise SimulationError(f"unknown node id {i}")
+            if measurement.value.shape != (self.dimension,):
+                raise SimulationError(
+                    f"node {i} sent dimension {measurement.value.shape}, "
+                    f"store expects ({self.dimension},)"
+                )
+            self._values[i] = measurement.value
+            self._last_update[i] = now

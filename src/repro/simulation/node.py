@@ -1,0 +1,82 @@
+"""Local node model (Sec. IV).
+
+A :class:`LocalNode` owns a transmission policy and mirrors the value the
+central node currently stores for it (``z_{i,t}``) — it can do so without
+feedback because it knows exactly what it last transmitted.  Each slot it
+observes a fresh measurement and either emits it or stays silent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.types import Measurement, NodeId
+from repro.exceptions import DataError, SimulationError
+from repro.transmission.base import TransmissionPolicy
+
+
+class LocalNode:
+    """One machine producing measurements and deciding transmissions.
+
+    Args:
+        node_id: The node's index ``i``.
+        policy: Its transmission policy (adaptive or uniform).
+    """
+
+    def __init__(self, node_id: NodeId, policy: TransmissionPolicy) -> None:
+        self.node_id = node_id
+        self.policy = policy
+        self._stored: Optional[np.ndarray] = None
+        self._time = 0
+
+    @property
+    def stored_value(self) -> np.ndarray:
+        """The node's copy of what the central node currently stores."""
+        if self._stored is None:
+            raise SimulationError(
+                f"node {self.node_id} has not observed any measurement yet"
+            )
+        return self._stored
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    def observe(self, value: np.ndarray) -> Optional[Measurement]:
+        """Process one slot's fresh measurement.
+
+        The very first measurement is always transmitted (the central node
+        has nothing stored yet, so ``z`` would be undefined otherwise) and
+        is charged against the policy's budget like any other decision.
+
+        Args:
+            value: The measurement ``x_{i,t}`` (d-vector).
+
+        Returns:
+            The transmitted :class:`Measurement`, or None if the node
+            stayed silent this slot.
+        """
+        x = np.atleast_1d(np.asarray(value, dtype=float))
+        if not np.isfinite(x).all():
+            raise DataError(f"node {self.node_id}: non-finite measurement")
+        if self._stored is None:
+            # Forced initial transmission; charged to the policy's budget
+            # state so frequency accounting includes it.
+            self.policy.first_transmission()
+            transmit = True
+        else:
+            transmit = self.policy.decide(x, self._stored)
+        time = self._time
+        self._time += 1
+        if transmit:
+            self._stored = x.copy()
+            return Measurement(node=self.node_id, time=time, value=x.copy())
+        return None
+
+    def reset(self) -> None:
+        """Clear state (also resets the policy's history)."""
+        self._stored = None
+        self._time = 0
+        self.policy.reset()

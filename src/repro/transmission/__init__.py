@@ -1,0 +1,22 @@
+"""Transmission policies: when does a local node send its measurement.
+
+Implements the paper's adaptive Lyapunov drift-plus-penalty policy
+(Sec. V-A) and the uniform-sampling baseline it is compared against in
+Fig. 4.
+"""
+
+from repro.transmission.adaptive import AdaptiveTransmissionPolicy
+from repro.transmission.base import TransmissionPolicy
+from repro.transmission.deadband import (
+    DeadbandTransmissionPolicy,
+    simulate_deadband_collection,
+)
+from repro.transmission.uniform import UniformTransmissionPolicy
+
+__all__ = [
+    "AdaptiveTransmissionPolicy",
+    "TransmissionPolicy",
+    "DeadbandTransmissionPolicy",
+    "simulate_deadband_collection",
+    "UniformTransmissionPolicy",
+]

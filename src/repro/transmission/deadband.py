@@ -1,0 +1,77 @@
+"""Deadband (send-on-delta) transmission baseline.
+
+The adaptive-sampling literature the paper positions against ([13]–[17]:
+ARIMA-driven sampling, set-similarity collection, etc.) transmits when
+the local value deviates from the last transmitted value by more than a
+threshold δ.  Its defining weakness — the paper's Sec. II argument — is
+that the *transmission frequency is only implicit*: it depends on the
+data's volatility, so an operator cannot budget bandwidth.  This policy
+exists to demonstrate exactly that (see the deadband ablation
+experiment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.transmission.base import TransmissionPolicy
+
+
+class DeadbandTransmissionPolicy(TransmissionPolicy):
+    """Transmit when ``(1/d)·||z − x||² > delta²``.
+
+    Args:
+        delta: Deadband half-width on the per-dimension RMS deviation;
+            transmission happens when the stored value drifts beyond it.
+    """
+
+    def __init__(self, delta: float) -> None:
+        super().__init__()
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta}")
+        self.delta = delta
+
+    def decide(self, current: np.ndarray, stored: np.ndarray) -> bool:
+        cur = np.atleast_1d(np.asarray(current, dtype=float))
+        sto = np.atleast_1d(np.asarray(stored, dtype=float))
+        if cur.shape != sto.shape:
+            raise DataError(
+                f"current shape {cur.shape} != stored shape {sto.shape}"
+            )
+        deviation = float(np.mean((sto - cur) ** 2))
+        transmit = deviation > self.delta**2
+        self._record(transmit)
+        return transmit
+
+
+def simulate_deadband_collection(trace: np.ndarray, delta: float):
+    """Vectorized deadband collection over a full trace.
+
+    Args:
+        trace: True measurements, shape ``(T, N)`` or ``(T, N, d)``.
+        delta: Deadband half-width.
+
+    Returns:
+        A :class:`~repro.simulation.collection.CollectionResult`.
+    """
+    from repro.core.types import validate_trace
+    from repro.simulation.collection import CollectionResult
+
+    if delta <= 0:
+        raise ConfigurationError(f"delta must be positive, got {delta}")
+    data = validate_trace(trace)
+    num_steps, num_nodes, _ = data.shape
+    stored_now = data[0].copy()
+    stored = np.empty_like(data)
+    decisions = np.zeros((num_steps, num_nodes), dtype=int)
+    decisions[0, :] = 1
+    stored[0] = stored_now
+    threshold = delta**2
+    for t in range(1, num_steps):
+        deviation = np.mean((stored_now - data[t]) ** 2, axis=1)
+        transmit = deviation > threshold
+        stored_now = np.where(transmit[:, np.newaxis], data[t], stored_now)
+        decisions[t] = transmit
+        stored[t] = stored_now
+    return CollectionResult(stored=stored, decisions=decisions)

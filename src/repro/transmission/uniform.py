@@ -1,0 +1,51 @@
+"""Uniform-sampling transmission baseline (Sec. VI-B, Fig. 4).
+
+Transmits at a fixed interval so that the average transmission frequency
+equals the budget ``B``, regardless of how much the measurement changed.
+For non-integer ``1/B`` an error-diffusion accumulator is used so the
+long-run empirical frequency still converges to exactly ``B``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.transmission.base import TransmissionPolicy
+
+
+class UniformTransmissionPolicy(TransmissionPolicy):
+    """Fixed-rate transmission at frequency ``B``.
+
+    Args:
+        budget: Target frequency ``B`` in (0, 1].
+        phase: Initial accumulator value in [0, 1); lets a fleet of nodes
+            stagger their transmissions instead of synchronizing.
+    """
+
+    def __init__(self, budget: float, *, phase: float = 0.0) -> None:
+        super().__init__()
+        if not 0.0 < budget <= 1.0:
+            raise ConfigurationError(f"budget must be in (0, 1], got {budget}")
+        if not 0.0 <= phase < 1.0:
+            raise ConfigurationError(f"phase must be in [0, 1), got {phase}")
+        self.budget = budget
+        self.phase = phase
+        self._accumulator = phase
+
+    def decide(self, current: np.ndarray, stored: np.ndarray) -> bool:
+        """Transmit whenever the rate accumulator crosses 1.
+
+        ``current``/``stored`` are ignored — this policy is oblivious to
+        the data, which is exactly what Fig. 4 contrasts against.
+        """
+        self._accumulator += self.budget
+        transmit = self._accumulator >= 1.0
+        if transmit:
+            self._accumulator -= 1.0
+        self._record(transmit)
+        return transmit
+
+    def reset(self) -> None:
+        super().reset()
+        self._accumulator = self.phase

@@ -1,0 +1,72 @@
+"""Tests for the ablation experiments (design-choice validation)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    run_ablation_offsets,
+    run_ablation_reindexing,
+    run_ablation_warm_start,
+)
+from repro.experiments.common import sample_hold_forecast_rmse, run_clustering
+from repro.exceptions import ConfigurationError
+
+
+@pytest.mark.slow
+class TestReindexingAblation:
+    def test_matching_essential_for_forecasting(self):
+        result = run_ablation_reindexing(
+            num_nodes=25, num_steps=200, start=40, horizons=(1, 5)
+        )
+        # Without Hungarian re-indexing the centroid series are permuted
+        # arbitrarily each step; forecasting degrades badly.
+        assert result.reindexing_helps(1)
+        assert result.reindexing_helps(5)
+        assert (
+            result.rmse["unmatched"][1] > 1.3 * result.rmse["matched"][1]
+        )
+
+
+@pytest.mark.slow
+class TestOffsetAblation:
+    def test_offsets_improve_over_centroid_only(self):
+        result = run_ablation_offsets(
+            num_nodes=25, num_steps=200, start=40, horizons=(1, 5)
+        )
+        assert result.offsets_help(1)
+        # Clipped and raw offsets should be close; both beat none at h=1.
+        assert (
+            abs(result.rmse["clipped"][1] - result.rmse["raw"][1]) < 0.02
+        )
+
+
+@pytest.mark.slow
+class TestWarmStartAblation:
+    def test_warm_start_same_quality(self):
+        result = run_ablation_warm_start(num_nodes=30, num_steps=200)
+        assert result.quality_gap() < 0.01
+        # Warm start should not be slower (usually much faster).
+        assert result.seconds["warm"] <= result.seconds["cold"] * 1.2
+
+
+class TestOffsetModeParameter:
+    def test_invalid_mode_rejected(self):
+        rng = np.random.default_rng(0)
+        truth = rng.random((20, 5))
+        assignments = run_clustering(truth, "proposed", 2, seed=0)
+        with pytest.raises(ConfigurationError):
+            sample_hold_forecast_rmse(
+                truth, truth, assignments, (1,), offset_mode="bogus"
+            )
+
+    def test_none_mode_matches_centroid_estimate(self):
+        rng = np.random.default_rng(1)
+        truth = rng.random((30, 6))
+        assignments = run_clustering(truth, "proposed", 2, seed=0)
+        none = sample_hold_forecast_rmse(
+            truth, truth, assignments, (1,), offset_mode="none", start=5
+        )
+        clipped = sample_hold_forecast_rmse(
+            truth, truth, assignments, (1,), offset_mode="clipped", start=5
+        )
+        assert none[1] != pytest.approx(clipped[1])

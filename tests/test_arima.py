@@ -1,0 +1,230 @@
+"""Tests for the from-scratch SARIMA model and AICc grid search."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    DataError,
+    NotFittedError,
+    ReproError,
+)
+from repro.forecasting.arima import (
+    ArimaModel,
+    ArimaOrder,
+    AutoArima,
+    candidate_orders,
+    grid_search,
+)
+
+
+def ar_process(coeffs, n, sigma=0.1, seed=0, mean=0.0):
+    rng = np.random.default_rng(seed)
+    p = len(coeffs)
+    x = np.zeros(n)
+    for t in range(p, n):
+        x[t] = mean + sum(
+            coeffs[i] * (x[t - 1 - i] - mean) for i in range(p)
+        ) + rng.normal(0, sigma)
+    return x
+
+
+class TestArimaOrder:
+    def test_defaults(self):
+        order = ArimaOrder()
+        assert (order.p, order.d, order.q) == (1, 0, 0)
+
+    def test_parameter_counts(self):
+        order = ArimaOrder(p=2, q=1, P=1, Q=1, s=12)
+        assert order.num_coefficients == 5
+        assert order.num_parameters == 7  # + mean + sigma^2
+
+    def test_differencing_lag(self):
+        assert ArimaOrder(d=1, D=1, s=12).differencing_lag == 13
+
+    def test_seasonal_requires_period(self):
+        with pytest.raises(ConfigurationError):
+            ArimaOrder(P=1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArimaOrder(p=-1)
+
+    def test_str(self):
+        assert "ARIMA(1,0,0)" in str(ArimaOrder())
+        assert "[12]" in str(ArimaOrder(P=1, s=12))
+
+
+class TestArimaFit:
+    def test_recovers_ar1(self):
+        x = ar_process([0.7], 2000, seed=1)
+        model = ArimaModel(ArimaOrder(p=1)).fit(x)
+        assert model.params[0] == pytest.approx(0.7, abs=0.05)
+
+    def test_recovers_ar2(self):
+        x = ar_process([0.6, 0.25], 3000, seed=2)
+        model = ArimaModel(ArimaOrder(p=2)).fit(x)
+        assert model.params[0] == pytest.approx(0.6, abs=0.07)
+        assert model.params[1] == pytest.approx(0.25, abs=0.07)
+
+    def test_recovers_ma1(self):
+        rng = np.random.default_rng(3)
+        e = rng.normal(0, 0.1, 3000)
+        x = np.zeros(3000)
+        for t in range(1, 3000):
+            x[t] = e[t] + 0.6 * e[t - 1]
+        model = ArimaModel(ArimaOrder(p=0, q=1)).fit(x)
+        assert model.params[0] == pytest.approx(0.6, abs=0.07)
+
+    def test_recovers_mean(self):
+        # The model parametrizes the *series mean* (not the intercept):
+        # the generator recenters around `mean`, so μ̂ ≈ 2.0.
+        x = ar_process([0.5], 2000, seed=4, mean=2.0)
+        model = ArimaModel(ArimaOrder(p=1)).fit(x)
+        assert model.mean == pytest.approx(2.0, abs=0.1)
+
+    def test_recovers_seasonal_ar(self):
+        rng = np.random.default_rng(5)
+        s = 12
+        x = np.zeros(3000)
+        for t in range(s, 3000):
+            x[t] = 0.8 * x[t - s] + rng.normal(0, 0.1)
+        model = ArimaModel(ArimaOrder(p=0, P=1, s=s)).fit(x)
+        assert model.params[0] == pytest.approx(0.8, abs=0.07)
+
+    def test_white_noise_order_zero(self):
+        x = np.random.default_rng(6).normal(0.5, 0.1, 500)
+        model = ArimaModel(ArimaOrder(p=0, q=0)).fit(x)
+        assert model.mean == pytest.approx(0.5, abs=0.02)
+        assert model.sigma2 == pytest.approx(0.01, rel=0.3)
+
+    def test_too_short_series(self):
+        with pytest.raises(DataError):
+            ArimaModel(ArimaOrder(p=2)).fit(np.zeros(5))
+
+    def test_sse_positive(self):
+        x = ar_process([0.5], 300, seed=7)
+        model = ArimaModel(ArimaOrder(p=1)).fit(x)
+        assert model.sse > 0
+        assert np.isfinite(model.aicc)
+
+    def test_diagnostics_require_fit(self):
+        model = ArimaModel()
+        with pytest.raises(NotFittedError):
+            model.sse
+        with pytest.raises(NotFittedError):
+            model.aicc
+        with pytest.raises(NotFittedError):
+            model.params
+
+
+class TestArimaForecast:
+    def test_ar1_forecast_decays_to_mean(self):
+        x = ar_process([0.8], 2000, seed=8, mean=0.5)
+        model = ArimaModel(ArimaOrder(p=1)).fit(x)
+        forecast = model.forecast(100)
+        series_mean = x.mean()
+        assert abs(forecast[-1] - series_mean) < abs(forecast[0] - series_mean) + 0.05
+
+    def test_random_walk_holds_last(self):
+        rng = np.random.default_rng(9)
+        x = np.cumsum(rng.normal(0, 0.1, 500))
+        model = ArimaModel(ArimaOrder(p=0, d=1, q=0)).fit(x)
+        forecast = model.forecast(5)
+        drift = np.diff(x).mean()
+        expected = x[-1] + drift * np.arange(1, 6)
+        np.testing.assert_allclose(forecast, expected, atol=0.05)
+
+    def test_linear_trend_extrapolated_with_d1(self):
+        x = 0.01 * np.arange(300) + 1.0
+        model = ArimaModel(ArimaOrder(p=0, d=1, q=0)).fit(x)
+        forecast = model.forecast(10)
+        expected = x[-1] + 0.01 * np.arange(1, 11)
+        np.testing.assert_allclose(forecast, expected, atol=1e-6)
+
+    def test_seasonal_pattern_repeated(self):
+        t = np.arange(600)
+        x = 0.5 + 0.2 * np.sin(2 * np.pi * t / 12)
+        model = ArimaModel(ArimaOrder(p=0, d=0, q=0, P=0, D=1, Q=0, s=12)).fit(x)
+        forecast = model.forecast(12)
+        expected = 0.5 + 0.2 * np.sin(2 * np.pi * (t[-1] + np.arange(1, 13)) / 12)
+        np.testing.assert_allclose(forecast, expected, atol=0.02)
+
+    def test_update_shifts_forecast(self):
+        x = ar_process([0.9], 800, seed=10)
+        model = ArimaModel(ArimaOrder(p=1)).fit(x)
+        f1 = model.forecast(1)[0]
+        model.update(x[-1] + 0.5)
+        f2 = model.forecast(1)[0]
+        assert f2 > f1
+
+    def test_forecast_before_fit(self):
+        with pytest.raises(NotFittedError):
+            ArimaModel().forecast(3)
+
+    def test_invalid_horizon(self):
+        x = ar_process([0.5], 300, seed=11)
+        model = ArimaModel(ArimaOrder(p=1)).fit(x)
+        with pytest.raises(DataError):
+            model.forecast(0)
+
+    def test_forecast_finite_and_bounded(self):
+        x = ar_process([0.7], 500, seed=12, mean=0.5)
+        model = ArimaModel(ArimaOrder(p=1, d=1, q=1)).fit(x)
+        forecast = model.forecast(50)
+        assert np.isfinite(forecast).all()
+        assert np.abs(forecast).max() < 10
+
+
+class TestGridSearch:
+    def test_candidate_count(self):
+        orders = candidate_orders(2, 1, 2, 0, 0, 0, 0)
+        assert len(orders) == 3 * 2 * 3
+
+    def test_seasonal_candidates(self):
+        orders = candidate_orders(1, 0, 1, 1, 1, 1, 12)
+        assert len(orders) == 2 * 1 * 2 * 2 * 2 * 2
+        assert all(o.s == 12 for o in orders)
+
+    def test_selects_reasonable_order_for_ar2(self):
+        x = ar_process([0.5, 0.3], 1500, seed=13)
+        result = grid_search(x, max_p=3, max_d=1, max_q=1)
+        assert result.best_order.p >= 1
+        assert result.best_order.d == 0
+
+    def test_prefers_differencing_for_random_walk(self):
+        rng = np.random.default_rng(14)
+        x = np.cumsum(rng.normal(0, 0.2, 800))
+        result = grid_search(x, max_p=2, max_d=1, max_q=1)
+        assert result.best_order.d == 1
+
+    def test_scores_recorded_for_all_orders(self):
+        x = ar_process([0.5], 300, seed=15)
+        result = grid_search(x, max_p=1, max_d=1, max_q=1)
+        assert len(result.scores) == 2 * 2 * 2
+
+    def test_empty_orders_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_search(np.zeros(100), orders=[])
+
+    def test_unfittable_series_raises(self):
+        with pytest.raises(ReproError):
+            grid_search(
+                np.zeros(4), orders=[ArimaOrder(p=3, q=3)]
+            )
+
+
+class TestAutoArima:
+    def test_forecaster_protocol(self):
+        x = ar_process([0.6], 500, seed=16, mean=0.5)
+        auto = AutoArima(max_p=2, max_d=1, max_q=1)
+        auto.fit(x)
+        assert auto.is_fitted
+        forecast = auto.forecast(5)
+        assert forecast.shape == (5,)
+        auto.update(0.5)
+        assert auto.history.size == 501
+
+    def test_unfitted_access(self):
+        with pytest.raises(ReproError):
+            AutoArima().model

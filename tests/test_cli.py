@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "table2" in out
+        assert "ablation_reindexing" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err
+
+    def test_run_small_experiment(self, capsys):
+        code = main(["run", "fig3", "--nodes", "10", "--steps", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "alibaba" in out
+
+    def test_run_fig12_ignores_steps_override(self, capsys):
+        # fig12 takes train_steps/test_steps, not num_steps; the CLI
+        # should drop the inapplicable override instead of crashing.
+        code = main(["run", "fig12", "--nodes", "30", "--steps", "100"])
+        assert code == 0
+
+    def test_demo(self, capsys):
+        code = main(
+            ["demo", "--nodes", "10", "--steps", "120", "--clusters", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RMSE(h=0)" in out
+        assert "transmission frequency" in out

@@ -1,0 +1,224 @@
+"""Tests for exponential-smoothing forecasters and Yule–Walker AR."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.forecasting.exponential import (
+    HoltLinear,
+    HoltWinters,
+    SimpleExponentialSmoothing,
+)
+from repro.forecasting.yule_walker import YuleWalkerAR, fit_yule_walker
+
+
+class TestSimpleExponentialSmoothing:
+    def test_constant_series(self):
+        model = SimpleExponentialSmoothing().fit(np.full(50, 0.4))
+        np.testing.assert_allclose(model.forecast(3), 0.4, atol=1e-9)
+
+    def test_alpha_one_is_sample_hold(self):
+        series = np.random.default_rng(0).random(30)
+        model = SimpleExponentialSmoothing(alpha=1.0).fit(series)
+        assert model.forecast(2)[0] == pytest.approx(series[-1])
+
+    def test_alpha_fitted_for_noisy_level(self):
+        # Pure noise around a level: optimal alpha should be small.
+        rng = np.random.default_rng(1)
+        series = 0.5 + rng.normal(0, 0.1, 400)
+        model = SimpleExponentialSmoothing().fit(series)
+        assert model.alpha < 0.3
+        assert model.forecast(1)[0] == pytest.approx(0.5, abs=0.05)
+
+    def test_alpha_fitted_for_random_walk(self):
+        rng = np.random.default_rng(2)
+        series = np.cumsum(rng.normal(0, 0.1, 400))
+        model = SimpleExponentialSmoothing().fit(series)
+        assert model.alpha > 0.7
+
+    def test_update_moves_level(self):
+        model = SimpleExponentialSmoothing(alpha=0.5).fit([0.0, 0.0])
+        model.update(1.0)
+        assert model.forecast(1)[0] == pytest.approx(0.5)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            SimpleExponentialSmoothing(alpha=0.0)
+
+
+class TestHoltLinear:
+    def test_extrapolates_trend(self):
+        series = 0.01 * np.arange(100) + 0.2
+        model = HoltLinear(damping=1.0).fit(series)
+        forecast = model.forecast(5)
+        expected = series[-1] + 0.01 * np.arange(1, 6)
+        np.testing.assert_allclose(forecast, expected, atol=0.01)
+
+    def test_damping_flattens_long_horizon(self):
+        series = 0.01 * np.arange(100) + 0.2
+        damped = HoltLinear(damping=0.8).fit(series).forecast(50)
+        undamped = HoltLinear(damping=1.0).fit(series).forecast(50)
+        assert damped[-1] < undamped[-1]
+
+    def test_update_tracks_level_shift(self):
+        series = np.full(60, 0.3)
+        model = HoltLinear().fit(series)
+        for _ in range(30):
+            model.update(0.8)
+        assert model.forecast(1)[0] == pytest.approx(0.8, abs=0.1)
+
+    def test_too_short(self):
+        with pytest.raises(DataError):
+            HoltLinear().fit([0.5])
+
+    def test_invalid_damping(self):
+        with pytest.raises(ConfigurationError):
+            HoltLinear(damping=0.0)
+
+
+class TestHoltWinters:
+    def _seasonal_series(self, periods=12, cycles=20, noise=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        t = np.arange(periods * cycles)
+        return (
+            0.5
+            + 0.2 * np.sin(2 * np.pi * t / periods)
+            + rng.normal(0, noise, t.size)
+        )
+
+    def test_learns_seasonal_pattern(self):
+        series = self._seasonal_series()
+        model = HoltWinters(period=12).fit(series)
+        forecast = model.forecast(12)
+        t_future = np.arange(series.size, series.size + 12)
+        expected = 0.5 + 0.2 * np.sin(2 * np.pi * t_future / 12)
+        np.testing.assert_allclose(forecast, expected, atol=0.03)
+
+    def test_noisy_seasonal_beats_sample_hold(self):
+        series = self._seasonal_series(noise=0.02, seed=3)
+        model = HoltWinters(period=12).fit(series[:-12])
+        forecast = model.forecast(12)
+        hold = np.full(12, series[-13])
+        truth = series[-12:]
+        assert np.abs(forecast - truth).mean() < np.abs(hold - truth).mean()
+
+    def test_update_advances_season_index(self):
+        series = self._seasonal_series()
+        model = HoltWinters(period=12).fit(series)
+        before = model._season_index
+        model.update(float(series[-1]))
+        assert model._season_index == (before + 1) % 12
+
+    def test_requires_two_seasons(self):
+        with pytest.raises(DataError):
+            HoltWinters(period=12).fit(np.zeros(20))
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            HoltWinters(period=1)
+
+
+class TestYuleWalker:
+    def _ar_series(self, coeffs, n=5000, seed=0):
+        rng = np.random.default_rng(seed)
+        x = np.zeros(n)
+        p = len(coeffs)
+        for t in range(p, n):
+            x[t] = sum(coeffs[i] * x[t - 1 - i] for i in range(p))
+            x[t] += rng.normal(0, 0.1)
+        return x
+
+    def test_recovers_ar1(self):
+        series = self._ar_series([0.7])
+        phi = fit_yule_walker(series, 1)
+        assert phi[0] == pytest.approx(0.7, abs=0.03)
+
+    def test_recovers_ar2(self):
+        series = self._ar_series([0.5, 0.3])
+        phi = fit_yule_walker(series, 2)
+        assert phi[0] == pytest.approx(0.5, abs=0.05)
+        assert phi[1] == pytest.approx(0.3, abs=0.05)
+
+    def test_constant_series_zero_coefficients(self):
+        phi = fit_yule_walker(np.full(100, 0.5), 2)
+        np.testing.assert_allclose(phi, 0.0)
+
+    def test_forecaster_decays_to_mean(self):
+        series = self._ar_series([0.8]) + 0.5
+        model = YuleWalkerAR(order=1).fit(series)
+        forecast = model.forecast(200)
+        assert forecast[-1] == pytest.approx(series.mean(), abs=0.05)
+
+    def test_forecaster_one_step(self):
+        series = self._ar_series([0.7])
+        model = YuleWalkerAR(order=1).fit(series)
+        expected = model.mean + model.coefficients[0] * (
+            series[-1] - model.mean
+        )
+        assert model.forecast(1)[0] == pytest.approx(expected)
+
+    def test_update_shifts_forecast(self):
+        series = self._ar_series([0.9])
+        model = YuleWalkerAR(order=1).fit(series)
+        f1 = model.forecast(1)[0]
+        model.update(series[-1] + 1.0)
+        assert model.forecast(1)[0] > f1
+
+    def test_invalid_order(self):
+        with pytest.raises(ConfigurationError):
+            YuleWalkerAR(order=0)
+        with pytest.raises(ConfigurationError):
+            fit_yule_walker(np.zeros(50), 0)
+
+    def test_series_too_short(self):
+        with pytest.raises(DataError):
+            fit_yule_walker(np.zeros(3), 3)
+
+
+class TestPipelineIntegrationOfNewModels:
+    @pytest.mark.parametrize("model", ["ses", "holt", "ar"])
+    def test_model_runs_in_pipeline(self, model):
+        from repro.core.config import (
+            ClusteringConfig,
+            ForecastingConfig,
+            PipelineConfig,
+        )
+        from repro.core.pipeline import run_pipeline
+
+        rng = np.random.default_rng(4)
+        trace = np.clip(
+            0.5 + np.cumsum(rng.normal(0, 0.01, (80, 6)), axis=0), 0, 1
+        )
+        config = PipelineConfig(
+            clustering=ClusteringConfig(num_clusters=2, seed=0),
+            forecasting=ForecastingConfig(
+                model=model, max_horizon=2,
+                initial_collection=30, retrain_interval=30,
+            ),
+        )
+        result = run_pipeline(trace, config)
+        assert result.rmse_by_horizon[1] < 0.2
+
+    def test_holt_winters_runs_in_pipeline(self):
+        from repro.core.config import (
+            ClusteringConfig,
+            ForecastingConfig,
+            PipelineConfig,
+        )
+        from repro.core.pipeline import run_pipeline
+
+        t = np.arange(120)
+        base = 0.5 + 0.2 * np.sin(2 * np.pi * t / 12)
+        rng = np.random.default_rng(5)
+        trace = np.clip(
+            base[:, None] + rng.normal(0, 0.02, (120, 6)), 0, 1
+        )
+        config = PipelineConfig(
+            clustering=ClusteringConfig(num_clusters=2, seed=0),
+            forecasting=ForecastingConfig(
+                model="holt_winters", hw_period=12, max_horizon=2,
+                initial_collection=40, retrain_interval=40,
+            ),
+        )
+        result = run_pipeline(trace, config)
+        assert result.rmse_by_horizon[1] < 0.15

@@ -1,0 +1,130 @@
+"""Tests for the MonitoringSystem streaming facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    ClusteringConfig,
+    ForecastingConfig,
+    PipelineConfig,
+    TransmissionConfig,
+)
+from repro.exceptions import ConfigurationError, DataError
+from repro.simulation.system import MonitoringSystem
+from repro.transmission.uniform import UniformTransmissionPolicy
+
+
+def small_config(budget=0.3, initial=20, horizon=2):
+    return PipelineConfig(
+        transmission=TransmissionConfig(budget=budget),
+        clustering=ClusteringConfig(num_clusters=2, seed=0),
+        forecasting=ForecastingConfig(
+            model="sample_hold",
+            max_horizon=horizon,
+            initial_collection=initial,
+            retrain_interval=initial,
+        ),
+    )
+
+
+def feed(seed=0, steps=50, nodes=6):
+    rng = np.random.default_rng(seed)
+    base = np.where(np.arange(nodes) < nodes // 2, 0.2, 0.7)
+    return np.clip(
+        base[None, :] + rng.normal(0, 0.02, (steps, nodes)), 0, 1
+    )
+
+
+class TestMonitoringSystem:
+    def test_tick_advances_everything(self):
+        system = MonitoringSystem(6, 1, small_config())
+        data = feed()
+        for t in range(30):
+            output = system.tick(data[t])
+            assert output.time == t
+        assert system.time == 30
+        assert system.transport_stats.messages > 0
+
+    def test_first_tick_all_transmit(self):
+        system = MonitoringSystem(6, 1, small_config())
+        system.tick(feed()[0])
+        assert system.transport_stats.messages == 6
+
+    def test_forecasts_after_initial_collection(self):
+        system = MonitoringSystem(6, 1, small_config(initial=15))
+        data = feed()
+        last = None
+        for t in range(25):
+            last = system.tick(data[t])
+        assert last.node_forecasts is not None
+        assert last.node_forecasts[1].shape == (6, 1)
+
+    def test_empirical_frequency_near_budget(self):
+        rng = np.random.default_rng(1)
+        walk = np.clip(
+            0.5 + np.cumsum(rng.normal(0, 0.02, (400, 5)), axis=0), 0, 1
+        )
+        system = MonitoringSystem(5, 1, small_config(budget=0.3))
+        for t in range(400):
+            system.tick(walk[t])
+        assert system.empirical_frequency == pytest.approx(0.3, abs=0.02)
+
+    def test_custom_policy_factory(self):
+        system = MonitoringSystem(
+            4, 1, small_config(),
+            policy_factory=lambda i: UniformTransmissionPolicy(
+                0.5, phase=i / 4
+            ),
+        )
+        data = feed(nodes=4)
+        for t in range(20):
+            system.tick(data[t])
+        # Forced first tick + ~50% of the remaining 19 slots per node.
+        expected = 4 + 0.5 * 19 * 4
+        assert system.transport_stats.messages == pytest.approx(
+            expected, abs=4
+        )
+
+    def test_wrong_shape_rejected(self):
+        system = MonitoringSystem(4, 1, small_config())
+        with pytest.raises(DataError):
+            system.tick(np.zeros(5))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            MonitoringSystem(0, 1)
+
+    def test_store_matches_node_views(self):
+        system = MonitoringSystem(5, 1, small_config())
+        data = feed(nodes=5)
+        for t in range(25):
+            system.tick(data[t])
+        stored = system.store.values
+        for node in system.nodes:
+            assert stored[node.node_id, 0] == pytest.approx(
+                node.stored_value[0]
+            )
+
+    def test_forecast_report_collecting_phase(self):
+        system = MonitoringSystem(4, 1, small_config(initial=30))
+        output = system.tick(feed(nodes=4)[0])
+        report = system.forecast_report(output, 1)
+        assert "collecting" in report
+
+    def test_forecast_report_with_forecasts(self):
+        system = MonitoringSystem(6, 1, small_config(initial=10))
+        data = feed()
+        output = None
+        for t in range(15):
+            output = system.tick(data[t])
+        report = system.forecast_report(output, 1)
+        assert "forecast for t+1" in report
+        assert "node" in report
+
+    def test_multiresource(self):
+        system = MonitoringSystem(4, 2, small_config(initial=10))
+        rng = np.random.default_rng(2)
+        output = None
+        for t in range(15):
+            output = system.tick(rng.random((4, 2)))
+        assert output.node_forecasts[1].shape == (4, 2)

@@ -1,0 +1,167 @@
+"""Tests for transmission policies (Sec. V-A) and their budget behavior."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import TransmissionConfig
+from repro.exceptions import ConfigurationError, DataError
+from repro.transmission.adaptive import AdaptiveTransmissionPolicy
+from repro.transmission.uniform import UniformTransmissionPolicy
+
+
+class TestAdaptivePolicy:
+    def test_transmits_on_large_error_with_credit(self):
+        policy = AdaptiveTransmissionPolicy(TransmissionConfig(budget=0.5))
+        # Build credit with a few identical observations.
+        same = np.array([0.5])
+        for _ in range(5):
+            policy.decide(same, same)
+        assert policy.decide(np.array([0.9]), np.array([0.5]))
+
+    def test_constant_data_frequency_tracks_budget(self):
+        # The literal Eq. 7 argmin transmits whenever the queue goes
+        # negative, even with zero change — so on constant data the
+        # frequency still converges to B (never above it).
+        policy = AdaptiveTransmissionPolicy(TransmissionConfig(budget=0.3))
+        same = np.array([0.4])
+        for _ in range(300):
+            policy.decide(same, same)
+        assert policy.empirical_frequency <= 0.3 + 1e-9
+        assert policy.empirical_frequency == pytest.approx(0.3, abs=0.02)
+
+    def test_skips_on_tie_at_zero_queue(self):
+        # Q = 0 and F = 0: both objectives are 0; the tie breaks to
+        # "don't transmit".
+        policy = AdaptiveTransmissionPolicy(TransmissionConfig(budget=0.3))
+        same = np.array([0.4])
+        assert policy.decide(same, same) is False
+
+    def test_frequency_converges_to_budget(self):
+        rng = np.random.default_rng(0)
+        config = TransmissionConfig(budget=0.3)
+        policy = AdaptiveTransmissionPolicy(config)
+        stored = np.array([0.5])
+        for _ in range(2000):
+            current = np.clip(stored + rng.normal(0, 0.05, 1), 0, 1)
+            if policy.decide(current, stored):
+                stored = current
+        assert policy.empirical_frequency == pytest.approx(0.3, abs=0.01)
+
+    @given(st.floats(0.05, 0.9))
+    @settings(max_examples=15, deadline=None)
+    def test_budget_respected_for_any_b(self, budget):
+        rng = np.random.default_rng(1)
+        policy = AdaptiveTransmissionPolicy(TransmissionConfig(budget=budget))
+        stored = np.array([0.5])
+        for _ in range(1500):
+            current = np.clip(stored + rng.normal(0, 0.05, 1), 0, 1)
+            if policy.decide(current, stored):
+                stored = current
+        assert policy.empirical_frequency <= budget + 0.03
+
+    def test_penalty_definition(self):
+        policy = AdaptiveTransmissionPolicy()
+        # F = (1/d)||z - x||^2 with d = 2.
+        value = policy.penalty(np.array([0.2, 0.4]), np.array([0.4, 0.8]))
+        assert value == pytest.approx((0.04 + 0.16) / 2)
+
+    def test_penalty_shape_mismatch(self):
+        policy = AdaptiveTransmissionPolicy()
+        with pytest.raises(DataError):
+            policy.penalty(np.zeros(2), np.zeros(3))
+
+    def test_queue_history_recorded(self):
+        policy = AdaptiveTransmissionPolicy()
+        same = np.array([0.1])
+        for _ in range(5):
+            policy.decide(same, same)
+        assert policy.queue_history.shape == (5,)
+
+    def test_first_transmission_charges_queue(self):
+        config = TransmissionConfig(budget=0.3)
+        policy = AdaptiveTransmissionPolicy(config)
+        policy.first_transmission()
+        assert policy.queue_length == pytest.approx(0.7)
+        assert policy.decisions.tolist() == [1]
+
+    def test_reset(self):
+        policy = AdaptiveTransmissionPolicy()
+        policy.first_transmission()
+        policy.reset()
+        assert policy.queue_length == 0.0
+        assert policy.decisions.size == 0
+
+    def test_credit_enables_bursts(self):
+        # After a long quiet period the policy should transmit several
+        # slots in a row when the signal changes rapidly.
+        policy = AdaptiveTransmissionPolicy(TransmissionConfig(budget=0.2))
+        same = np.array([0.5])
+        for _ in range(50):
+            policy.decide(same, same)
+        stored = same
+        burst_decisions = []
+        for step in range(5):
+            current = np.array([0.5 + 0.1 * (step + 1)])
+            transmitted = policy.decide(current, stored)
+            burst_decisions.append(transmitted)
+            if transmitted:
+                stored = current
+        # At budget 0.2, five slots nominally allow one transmission;
+        # the banked credit plus the penalty term should deliver more.
+        assert sum(burst_decisions) >= 2
+
+
+class TestUniformPolicy:
+    def test_exact_frequency_integer_period(self):
+        policy = UniformTransmissionPolicy(0.25)
+        x = np.array([0.0])
+        decisions = [policy.decide(x, x) for _ in range(100)]
+        assert sum(decisions) == 25
+
+    def test_error_diffusion_non_integer_period(self):
+        policy = UniformTransmissionPolicy(0.3)
+        x = np.array([0.0])
+        decisions = [policy.decide(x, x) for _ in range(1000)]
+        assert sum(decisions) == pytest.approx(300, abs=1)
+
+    def test_oblivious_to_data(self):
+        policy_a = UniformTransmissionPolicy(0.5)
+        policy_b = UniformTransmissionPolicy(0.5)
+        x = np.array([0.0])
+        y = np.array([1.0])
+        d_a = [policy_a.decide(x, x) for _ in range(20)]
+        d_b = [policy_b.decide(y, x) for _ in range(20)]
+        assert d_a == d_b
+
+    def test_phase_staggers(self):
+        p0 = UniformTransmissionPolicy(0.5, phase=0.0)
+        p1 = UniformTransmissionPolicy(0.5, phase=0.5)
+        x = np.array([0.0])
+        d0 = [p0.decide(x, x) for _ in range(4)]
+        d1 = [p1.decide(x, x) for _ in range(4)]
+        assert d0 != d1
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            UniformTransmissionPolicy(0.0)
+        with pytest.raises(ConfigurationError):
+            UniformTransmissionPolicy(1.2)
+
+    def test_invalid_phase(self):
+        with pytest.raises(ConfigurationError):
+            UniformTransmissionPolicy(0.5, phase=1.0)
+
+    def test_reset_restores_phase(self):
+        policy = UniformTransmissionPolicy(0.5, phase=0.25)
+        x = np.array([0.0])
+        first = [policy.decide(x, x) for _ in range(8)]
+        policy.reset()
+        second = [policy.decide(x, x) for _ in range(8)]
+        assert first == second
+
+    def test_budget_one_transmits_always(self):
+        policy = UniformTransmissionPolicy(1.0)
+        x = np.array([0.0])
+        assert all(policy.decide(x, x) for _ in range(10))
