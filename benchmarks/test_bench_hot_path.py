@@ -1,0 +1,177 @@
+"""Fleet-scale hot-path scaling benchmark.
+
+Times the vectorized per-slot kernels against the pre-vectorization
+loop implementations (`repro.reference_impl`) at growing fleet sizes
+N ∈ {100, 500, 1000}:
+
+* `estimate_offsets` — the Eq. 12 α-clipped offsets;
+* similarity re-indexing — the Eq. 10 contingency for the Hungarian
+  matching;
+* `forecast_membership` — the majority-vote membership forecast;
+* the collection stage — `CollectionSimulation`'s batched fast path vs
+  its per-node object loop (fewer slots, it is the slowest reference).
+
+Asserts the paper's fleet-scale claim is actually realized: at
+N = 1000 the vectorized `estimate_offsets` + re-indexing combo must be
+at least 10× faster than the reference loops.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.clustering.similarity import similarity_matrix_from_labels
+from repro.core.config import TransmissionConfig
+from repro.forecasting.membership import forecast_membership
+from repro.forecasting.offsets import estimate_offsets
+from repro.reference_impl import (
+    estimate_offsets_reference,
+    forecast_membership_reference,
+    reindex_weights_reference,
+)
+from repro.simulation.collection import CollectionSimulation
+from repro.transmission.adaptive import AdaptiveTransmissionPolicy
+
+FLEET_SIZES = (100, 500, 1000)
+NUM_CLUSTERS = 10
+WINDOW = 4  # offsets lookback M' + 1
+HISTORY_DEPTH = 3  # similarity look-back M
+COLLECTION_STEPS = 120
+
+
+def _timeit(fn, *, repeats=3):
+    """Best-of-N wall time of ``fn()`` (first call included in timing)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _fleet_case(num_nodes, rng):
+    """Clustered measurements + centroid/label history for one fleet."""
+    base = rng.uniform(0.1, 0.9, size=(NUM_CLUSTERS, 1))
+    labels = rng.integers(0, NUM_CLUSTERS, size=num_nodes)
+    stored, cents, label_history = [], [], []
+    for _ in range(max(WINDOW, HISTORY_DEPTH)):
+        stored.append(base[labels] + rng.normal(0, 0.08, (num_nodes, 1)))
+        cents.append(base + rng.normal(0, 0.01, base.shape))
+        churn = rng.random(num_nodes) < 0.05
+        labels = np.where(
+            churn, rng.integers(0, NUM_CLUSTERS, size=num_nodes), labels
+        )
+        label_history.append(labels.copy())
+    new_labels = np.where(
+        rng.random(num_nodes) < 0.05,
+        rng.integers(0, NUM_CLUSTERS, size=num_nodes),
+        labels,
+    )
+    return stored, cents, label_history, new_labels
+
+
+@pytest.mark.slow
+def test_bench_hot_path(record_result):
+    rng = np.random.default_rng(0)
+    lines = [
+        f"{'kernel':<12} {'N':>5}  {'reference s':>11}  "
+        f"{'vectorized s':>12}  {'speedup':>8}",
+        f"{'-' * 12} {'-' * 5}  {'-' * 11}  {'-' * 12}  {'-' * 8}",
+    ]
+    combined = {}
+
+    for num_nodes in FLEET_SIZES:
+        stored, cents, label_history, new_labels = _fleet_case(
+            num_nodes, rng
+        )
+        memberships = label_history[-1]
+
+        ref_s, ref_out = _timeit(lambda: estimate_offsets_reference(
+            stored[-WINDOW:], cents[-WINDOW:], memberships, WINDOW - 1
+        ), repeats=1 if num_nodes >= 500 else 2)
+        vec_s, vec_out = _timeit(lambda: estimate_offsets(
+            stored[-WINDOW:], cents[-WINDOW:], memberships, WINDOW - 1
+        ))
+        np.testing.assert_array_equal(ref_out, vec_out)
+        lines.append(
+            f"{'offsets':<12} {num_nodes:>5}  {ref_s:>11.4f}  "
+            f"{vec_s:>12.4f}  {ref_s / vec_s:>7.1f}x"
+        )
+
+        history = label_history[-HISTORY_DEPTH:]
+        reindex_ref_s, ref_w = _timeit(lambda: reindex_weights_reference(
+            "intersection", new_labels, history, NUM_CLUSTERS
+        ))
+        reindex_vec_s, vec_w = _timeit(lambda: similarity_matrix_from_labels(
+            "intersection", new_labels, history, NUM_CLUSTERS
+        ))
+        np.testing.assert_array_equal(ref_w, vec_w)
+        lines.append(
+            f"{'reindex':<12} {num_nodes:>5}  {reindex_ref_s:>11.4f}  "
+            f"{reindex_vec_s:>12.4f}  {reindex_ref_s / reindex_vec_s:>7.1f}x"
+        )
+
+        member_ref_s, ref_m = _timeit(lambda: forecast_membership_reference(
+            label_history, WINDOW - 1
+        ))
+        member_vec_s, vec_m = _timeit(lambda: forecast_membership(
+            label_history, WINDOW - 1
+        ))
+        np.testing.assert_array_equal(ref_m, vec_m)
+        lines.append(
+            f"{'membership':<12} {num_nodes:>5}  {member_ref_s:>11.4f}  "
+            f"{member_vec_s:>12.4f}  {member_ref_s / member_vec_s:>7.1f}x"
+        )
+
+        trace = np.clip(
+            0.5 + np.cumsum(
+                rng.normal(0, 0.02, (COLLECTION_STEPS, num_nodes)), axis=0
+            ),
+            0,
+            1,
+        )
+        config = TransmissionConfig(budget=0.3)
+
+        def run_object_loop():
+            sim = CollectionSimulation(
+                num_nodes, lambda i: AdaptiveTransmissionPolicy(config)
+            )
+            return sim._run_object_loop(trace[:, :, np.newaxis].copy())
+
+        def run_fast_path():
+            sim = CollectionSimulation(
+                num_nodes, lambda i: AdaptiveTransmissionPolicy(config)
+            )
+            assert sim._batchable()
+            return sim.run(trace)
+
+        collect_ref_s, ref_c = _timeit(run_object_loop, repeats=1)
+        collect_vec_s, vec_c = _timeit(run_fast_path)
+        np.testing.assert_array_equal(ref_c.decisions, vec_c.decisions)
+        np.testing.assert_array_equal(ref_c.stored, vec_c.stored)
+        lines.append(
+            f"{'collection':<12} {num_nodes:>5}  {collect_ref_s:>11.4f}  "
+            f"{collect_vec_s:>12.4f}  "
+            f"{collect_ref_s / collect_vec_s:>7.1f}x"
+        )
+
+        combined[num_nodes] = (
+            (ref_s + reindex_ref_s) / (vec_s + reindex_vec_s)
+        )
+
+    lines.append("")
+    lines.append(
+        "combined offsets+reindex speedup: "
+        + ", ".join(
+            f"N={n}: {ratio:.1f}x" for n, ratio in combined.items()
+        )
+    )
+    record_result("hot_path", "\n".join(lines))
+
+    # The acceptance bar: >= 10x at fleet scale.
+    assert combined[1000] >= 10.0, (
+        f"expected >= 10x offsets+reindex speedup at N=1000, got "
+        f"{combined[1000]:.1f}x"
+    )

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.clustering.kmeans import kmeans
 from repro.clustering.matching import maximum_weight_assignment
-from repro.clustering.similarity import similarity_matrix
+from repro.clustering.similarity import similarity_matrix_from_labels
 from repro.core.types import ClusterAssignment
 from repro.exceptions import ConfigurationError, DataError
 
@@ -62,13 +62,15 @@ class DynamicClusterTracker:
         self.restarts = restarts
         self.warm_start = warm_start
         self._rng = np.random.default_rng(seed)
-        self._partition_history: Deque[List[Set[int]]] = deque(
-            maxlen=history_depth
-        )
+        # Re-indexed labels of the last `history_depth` slots — the raw
+        # material of the Eq. 10 similarity (kept as arrays so the
+        # contingency is one bincount, not per-node set building).
+        self._label_window: Deque[np.ndarray] = deque(maxlen=history_depth)
         self._previous_centroids: Optional[np.ndarray] = None
         self._centroid_history: List[np.ndarray] = []
         self._assignments: List[ClusterAssignment] = []
         self._time = 0
+        self._dim: Optional[int] = None
 
     @property
     def time(self) -> int:
@@ -80,14 +82,34 @@ class DynamicClusterTracker:
         """All re-indexed assignments so far, oldest first."""
         return self._assignments
 
+    @property
+    def _partition_history(self) -> List[List[Set[int]]]:
+        """Remembered partitions as node-id sets (compatibility view).
+
+        The tracker stores label arrays internally; this rebuilds the
+        set-of-sets form of each remembered slot on demand.
+        """
+        return [
+            [
+                set(np.flatnonzero(labels == j).tolist())
+                for j in range(self.num_clusters)
+            ]
+            for labels in self._label_window
+        ]
+
     def centroid_series(self, cluster: int) -> np.ndarray:
-        """Time series of centroids for ``cluster``, shape ``(t, d)``."""
+        """Time series of centroids for ``cluster``, shape ``(t, d)``.
+
+        Before the first update the series is empty but keeps a
+        consistent 2-D shape: ``(0, d)`` once the dimensionality is
+        known, ``(0, 1)`` otherwise.
+        """
         if cluster < 0 or cluster >= self.num_clusters:
             raise ConfigurationError(
                 f"cluster {cluster} outside [0, {self.num_clusters})"
             )
         if not self._centroid_history:
-            return np.empty((0, 0))
+            return np.empty((0, self._dim if self._dim is not None else 1))
         return np.stack([c[cluster] for c in self._centroid_history])
 
     def update(
@@ -144,16 +166,13 @@ class DynamicClusterTracker:
         )
         labels = result.labels
 
-        if self._partition_history:
+        if self._label_window:
             labels = self._reindex(labels)
         centroids = self._value_centroids(data, labels)
 
-        partition = [
-            set(np.flatnonzero(labels == j).tolist())
-            for j in range(self.num_clusters)
-        ]
-        self._partition_history.append(partition)
+        self._label_window.append(np.asarray(labels, dtype=int).copy())
         self._centroid_history.append(centroids)
+        self._dim = data.shape[1]
         if features is None:
             self._previous_centroids = centroids
         assignment = ClusterAssignment(
@@ -171,12 +190,9 @@ class DynamicClusterTracker:
             centroids = data.copy()
         else:
             centroids = self._value_centroids(data, labels)
-        partition = [
-            set(np.flatnonzero(labels == j).tolist())
-            for j in range(self.num_clusters)
-        ]
-        self._partition_history.append(partition)
+        self._label_window.append(np.asarray(labels, dtype=int).copy())
         self._centroid_history.append(centroids)
+        self._dim = data.shape[1]
         self._previous_centroids = centroids
         assignment = ClusterAssignment(
             time=self._time, labels=labels, centroids=centroids
@@ -186,19 +202,22 @@ class DynamicClusterTracker:
         return assignment
 
     def _reindex(self, labels: np.ndarray) -> np.ndarray:
-        """Re-map raw K-means labels onto persistent historical indices."""
-        new_clusters = [
-            set(np.flatnonzero(labels == k).tolist())
-            for k in range(self.num_clusters)
-        ]
-        weights = similarity_matrix(
-            self.similarity, new_clusters, list(self._partition_history)
+        """Re-map raw K-means labels onto persistent historical indices.
+
+        The Eq. 10 contingency is computed directly from the label
+        arrays (one ``bincount``), so re-indexing costs O(N + K³)
+        instead of O(N·K) Python-level set operations per slot.
+        """
+        weights = similarity_matrix_from_labels(
+            self.similarity,
+            labels,
+            list(self._label_window),
+            self.num_clusters,
         )
         phi = maximum_weight_assignment(weights)
-        remapped = np.empty_like(labels)
-        for k in range(self.num_clusters):
-            remapped[labels == k] = phi[k]
-        return remapped
+        return phi[np.asarray(labels, dtype=int)].astype(
+            labels.dtype, copy=False
+        )
 
     def _value_centroids(
         self, values: np.ndarray, labels: np.ndarray

@@ -9,6 +9,7 @@ from repro.core.config import (
 from repro.core.metrics import (
     horizon_averaged_rmse,
     instantaneous_rmse,
+    instantaneous_rmse_batch,
     intermediate_rmse,
     standard_deviation_bound,
     time_averaged_rmse,
@@ -37,6 +38,7 @@ __all__ = [
     "TransmissionConfig",
     "horizon_averaged_rmse",
     "instantaneous_rmse",
+    "instantaneous_rmse_batch",
     "intermediate_rmse",
     "standard_deviation_bound",
     "time_averaged_rmse",

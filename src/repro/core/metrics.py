@@ -25,27 +25,63 @@ def instantaneous_rmse(estimates: np.ndarray, truth: np.ndarray) -> float:
     """Compute ``RMSE(t, h)`` per Eq. 3.
 
     Args:
-        estimates: Array of shape ``(N, d)`` (or ``(N,)`` for ``d = 1``)
-            holding ``x̂_{i,t+h}`` for every node ``i``.
+        estimates: Array of shape ``(N, d)`` holding ``x̂_{i,t+h}`` for
+            every node ``i``, or 1-D of shape ``(N,)`` for ``N``
+            scalar-valued nodes.  2-D input is always interpreted as
+            ``(N, d)`` — in particular ``(1, d)`` is one node with a
+            d-vector measurement, not ``d`` scalar nodes.
         truth: Array of the same shape holding the true ``x_{i,t+h}``.
 
     Returns:
         ``sqrt((1/N) * sum_i ||x̂_i − x_i||²)``.
     """
-    est = np.atleast_2d(np.asarray(estimates, dtype=float))
-    tru = np.atleast_2d(np.asarray(truth, dtype=float))
+    est = np.asarray(estimates, dtype=float)
+    tru = np.asarray(truth, dtype=float)
     if est.shape != tru.shape:
         raise DataError(
             f"estimate shape {est.shape} != truth shape {tru.shape}"
         )
-    if est.ndim == 2 and est.shape[0] == 1 and est.shape[1] > 1:
-        # np.atleast_2d turned an (N,) vector into (1, N); treat each entry
-        # as a scalar-valued node measurement.
-        est = est.T
-        tru = tru.T
+    if est.ndim <= 1:
+        # Scalar → one node; (N,) vector → N scalar-valued nodes.
+        est = est.reshape(-1, 1)
+        tru = tru.reshape(-1, 1)
     num_nodes = est.shape[0]
     sq = np.sum((est - tru) ** 2, axis=tuple(range(1, est.ndim)))
     return float(np.sqrt(np.sum(sq) / num_nodes))
+
+
+def instantaneous_rmse_batch(
+    estimates: np.ndarray, truth: np.ndarray
+) -> np.ndarray:
+    """Per-slot ``RMSE(t, h)`` for a whole trajectory at once.
+
+    Vectorized twin of :func:`instantaneous_rmse` over stacked slots:
+    one array operation instead of one Python call per slot.
+
+    Args:
+        estimates: Shape ``(T, N, d)`` (or ``(T, N)`` for scalar nodes).
+        truth: Array of the same shape.
+
+    Returns:
+        Shape ``(T,)`` of per-slot RMSE values, each identical to
+        calling :func:`instantaneous_rmse` on that slot.
+    """
+    est = np.asarray(estimates, dtype=float)
+    tru = np.asarray(truth, dtype=float)
+    if est.shape != tru.shape:
+        raise DataError(
+            f"estimate shape {est.shape} != truth shape {tru.shape}"
+        )
+    if est.ndim == 2:
+        est = est[:, :, np.newaxis]
+        tru = tru[:, :, np.newaxis]
+    if est.ndim != 3:
+        raise DataError(
+            f"expected (T, N, d) or (T, N) stacks, got shape {est.shape}"
+        )
+    num_nodes = est.shape[1]
+    sq = ((est - tru) ** 2).sum(axis=2).sum(axis=1)
+    return np.sqrt(sq / num_nodes)
 
 
 def time_averaged_rmse(instantaneous: Iterable[float]) -> float:

@@ -22,13 +22,14 @@ collect the paper's RMSE metrics.
 from __future__ import annotations
 
 import logging
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import ForecastingConfig, PipelineConfig
-from repro.core.metrics import instantaneous_rmse, time_averaged_rmse
+from repro.core.metrics import instantaneous_rmse_batch
 from repro.core.types import ClusterAssignment, validate_trace
 from repro.clustering.dynamic import DynamicClusterTracker
 from repro.exceptions import ConfigurationError, DataError, ReproError
@@ -171,9 +172,15 @@ class OnlinePipeline:
             [factory(j, g) for j in range(clustering.num_clusters)]
             for g in range(len(self._groups))
         ]
-        self._stored_history: List[np.ndarray] = []
-        self._label_history: List[List[np.ndarray]] = [
-            [] for _ in self._groups
+        # Only the last M'+1 slots feed the membership forecast and the
+        # offset estimation, so these rolling windows are bounded at
+        # O(window · N · d).  (The trackers' centroid/assignment
+        # histories still grow with the stream — full centroid series
+        # are needed for model training.)
+        window = config.forecasting.membership_lookback + 1
+        self._stored_history: Deque[np.ndarray] = deque(maxlen=window)
+        self._label_history: List[Deque[np.ndarray]] = [
+            deque(maxlen=window) for _ in self._groups
         ]
         self._time = 0
         self._last_train: Optional[int] = None
@@ -320,13 +327,15 @@ class OnlinePipeline:
                     )
                     per_cluster[:, j, :] = assignments[g].centroids[j]
 
-            memberships = forecast_membership(self._label_history[g], lookback)
+            memberships = forecast_membership(
+                list(self._label_history[g]), lookback
+            )
             memberships_all[g] = memberships
 
-            window = lookback + 1
-            stored_group = [
-                z[:, group] for z in self._stored_history[-window:]
-            ]
+            # The deque's maxlen is exactly lookback + 1 (set in
+            # __init__), so the whole window is the whole deque.
+            window = len(self._stored_history)
+            stored_group = [z[:, group] for z in self._stored_history]
             centroid_group = [
                 a.centroids for a in self._trackers[g].assignments[-window:]
             ]
@@ -452,36 +461,51 @@ def run_pipeline(
 
     sq_sums: Dict[int, float] = {h: 0.0 for h in eval_horizons}
     sq_counts: Dict[int, int] = {h: 0 for h in eval_horizons}
-    intermediate_sq: List[float] = []
+    forecast_horizons = np.asarray(
+        [h for h in eval_horizons if h != 0], dtype=int
+    )
+    # Per-slot centroid-of-assigned-cluster estimates, accumulated so the
+    # intermediate RMSE is computed in one batched operation at the end.
+    centers_series = np.empty_like(collected.stored)
+    groups = pipeline._groups
     forecast_start = -1
 
     for t in range(num_steps):
         output = pipeline.step(collected.stored[t])
-        if 0 in sq_sums:
-            err = instantaneous_rmse(collected.stored[t], data[t])
-            sq_sums[0] += err**2
-            sq_counts[0] += 1
-        # Intermediate RMSE: centroid of assigned cluster vs stored value,
-        # averaged over resource groups.
-        group_sq = []
-        groups = pipeline._groups
         for g, assignment in enumerate(output.assignments):
-            values = collected.stored[t][:, groups[g]]
-            centers = assignment.centroids[assignment.labels]
-            group_sq.append(instantaneous_rmse(centers, values) ** 2)
-        intermediate_sq.append(float(np.mean(group_sq)))
+            centers_series[t][:, groups[g]] = assignment.centroids[
+                assignment.labels
+            ]
 
         if output.node_forecasts is not None:
             if forecast_start < 0:
                 forecast_start = t
-            for h in eval_horizons:
-                if h == 0 or t + h >= num_steps:
-                    continue
-                err = instantaneous_rmse(
-                    output.node_forecasts[h], data[t + h]
+            live = forecast_horizons[t + forecast_horizons < num_steps]
+            if live.size:
+                # All horizons of this slot in one array op.
+                estimates = np.stack(
+                    [output.node_forecasts[h] for h in live.tolist()]
                 )
-                sq_sums[h] += err**2
-                sq_counts[h] += 1
+                errors = instantaneous_rmse_batch(estimates, data[t + live])
+                for h, err in zip(live.tolist(), errors.tolist()):
+                    sq_sums[h] += err**2
+                    sq_counts[h] += 1
+
+    # Batched accumulation over all slots at once: the pure collection
+    # error (h = 0) and the intermediate RMSE — the per-slot values match
+    # the streaming instantaneous_rmse definition exactly.
+    if 0 in sq_sums:
+        errors = instantaneous_rmse_batch(collected.stored, data)
+        sq_sums[0] = float(np.sum(errors**2))
+        sq_counts[0] = num_steps
+    group_sq = np.stack([
+        instantaneous_rmse_batch(
+            centers_series[:, :, group], collected.stored[:, :, group]
+        )
+        ** 2
+        for group in groups
+    ])  # (groups, T)
+    intermediate_sq = group_sq.mean(axis=0)
 
     rmse_by_horizon = {}
     for h in eval_horizons:

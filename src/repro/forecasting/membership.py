@@ -38,23 +38,22 @@ def forecast_membership(
     if any(l.shape != (num_nodes,) for l in window):
         raise DataError("label arrays in history have inconsistent shapes")
     stacked = np.stack(window)  # (W, N)
+    num_steps = stacked.shape[0]
     num_clusters = int(stacked.max()) + 1
-    forecast = np.empty(num_nodes, dtype=int)
-    for i in range(num_nodes):
-        counts = np.bincount(stacked[:, i], minlength=num_clusters)
-        best = counts.max()
-        # Tie-break toward the most recently occupied cluster among the
-        # maximal ones, which keeps the forecast stable under oscillation.
-        candidates = np.flatnonzero(counts == best)
-        if candidates.size == 1:
-            forecast[i] = candidates[0]
-        else:
-            recent = stacked[::-1, i]
-            for label in recent:
-                if label in candidates:
-                    forecast[i] = label
-                    break
-    return forecast
+    # One-hot occupancy (W, N, K): counts and recency in one pass, no
+    # per-node Python loop.
+    occupancy = stacked[:, :, np.newaxis] == np.arange(num_clusters)
+    counts = occupancy.sum(axis=0)  # (N, K)
+    best = counts.max(axis=1, keepdims=True)
+    # Tie-break toward the most recently occupied cluster among the
+    # maximal ones, which keeps the forecast stable under oscillation:
+    # every candidate cluster appears somewhere in the window, so the
+    # candidate with the largest last-occupied slot index wins.
+    last_seen = np.where(
+        occupancy, np.arange(num_steps)[:, np.newaxis, np.newaxis], -1
+    ).max(axis=0)  # (N, K)
+    ranked = np.where(counts == best, last_seen, -1)
+    return ranked.argmax(axis=1)
 
 
 def membership_stability(label_history: Sequence[np.ndarray]) -> float:

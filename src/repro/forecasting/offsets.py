@@ -10,6 +10,12 @@ where the scaling coefficient ``α ∈ (0, 1]`` is the largest value keeping
 (α = 1 when ``z_i`` already belongs to cluster ``j``).  The clipping
 prevents the reconstructed value from crossing into a different cluster
 than the one whose centroid is being forecast.
+
+The α computation is fully vectorized: all boundary crossings for every
+node (and, in :func:`estimate_offsets`, every history slot) are evaluated
+through one ``(..., N, K, d)`` broadcast instead of per-node Python-level
+dot products, which is what makes fleet-scale (N ≈ 10³⁺) per-slot
+forecasting feasible.
 """
 
 from __future__ import annotations
@@ -19,6 +25,73 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError, DataError
+
+
+def _validate_clusters(idx: np.ndarray, num_clusters: int) -> None:
+    if idx.size and (idx.min() < 0 or idx.max() >= num_clusters):
+        bad = int(idx[(idx < 0) | (idx >= num_clusters)][0])
+        raise ConfigurationError(
+            f"cluster {bad} outside [0, {num_clusters})"
+        )
+
+
+def alpha_clip_batch(
+    values: np.ndarray, centroids: np.ndarray, clusters: np.ndarray
+) -> np.ndarray:
+    """Vectorized α-clipping for many nodes against one centroid set.
+
+    For every node ``i`` this computes the largest ``α ∈ (0, 1]`` keeping
+    ``c_j + α(z_i − c_j)`` closest to centroid ``j = clusters[i]`` — the
+    same rule as :func:`alpha_clip`, evaluated for all nodes through a
+    single ``(N, K, d)`` broadcast.
+
+    Args:
+        values: Stored measurements ``z``, shape ``(N, d)`` or ``(N,)``.
+        centroids: All centroids, shape ``(K, d)`` or ``(K,)``.
+        clusters: Target cluster index per node, shape ``(N,)``.
+
+    Returns:
+        α per node, shape ``(N,)``.
+    """
+    z = np.asarray(values, dtype=float)
+    if z.ndim == 1:
+        z = z[:, np.newaxis]
+    cents = np.asarray(centroids, dtype=float)
+    if cents.ndim == 1:
+        cents = cents[:, np.newaxis]
+    idx = np.asarray(clusters, dtype=int)
+    _validate_clusters(idx, cents.shape[0])
+    own = cents[idx]  # (N, d)
+    direction = z - own  # (N, d)
+    alphas = _clipped_alphas(direction[np.newaxis], cents, own[np.newaxis])
+    return alphas[0]
+
+
+def _clipped_alphas(
+    direction: np.ndarray, centroids: np.ndarray, own: np.ndarray
+) -> np.ndarray:
+    """Boundary-crossing α's for a ``(..., N, d)`` stack of directions.
+
+    ``direction`` is ``z − c_j`` per node, ``own`` the matching centroid
+    ``c_j``, and ``centroids`` either ``(K, d)`` (shared across the stack)
+    or ``(..., K, d)`` (one centroid set per leading index).
+    """
+    # Rival displacement u = c_k − c_j for every (node, rival) pair.
+    rivals = np.expand_dims(centroids, -3) - np.expand_dims(own, -2)
+    # (..., N, K): projections of each node's direction onto each rival.
+    projection = (np.expand_dims(direction, -2) * rivals).sum(axis=-1)
+    rival_norm_sq = (rivals * rivals).sum(axis=-1)
+    # Boundary: ||α·direction||² == ||α·direction − u||²
+    #        ⇔ α == ||u||² / (2 · direction·u), relevant only when the
+    # direction actually moves toward the rival (projection > 0); the own
+    # cluster has u = 0 and is excluded the same way.
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        boundary = rival_norm_sq / (2.0 * projection)
+    boundary = np.where(projection > 0.0, boundary, np.inf)
+    alphas = np.minimum(1.0, boundary.min(axis=-1))
+    alphas = np.maximum(alphas, 1e-12)
+    norm_sq = (direction * direction).sum(axis=-1)
+    return np.where(norm_sq == 0.0, 1.0, alphas)
 
 
 def alpha_clip(
@@ -37,31 +110,9 @@ def alpha_clip(
         small positive value so the offset never flips sign.
     """
     z = np.atleast_1d(np.asarray(value, dtype=float))
-    cents = np.asarray(centroids, dtype=float)
-    if cents.ndim == 1:
-        cents = cents[:, np.newaxis]
-    num_clusters = cents.shape[0]
-    if cluster < 0 or cluster >= num_clusters:
-        raise ConfigurationError(
-            f"cluster {cluster} outside [0, {num_clusters})"
-        )
-    direction = z - cents[cluster]
-    norm_sq = float(np.dot(direction, direction))
-    if norm_sq == 0.0:
-        return 1.0
-    alpha = 1.0
-    for other in range(num_clusters):
-        if other == cluster:
-            continue
-        u = cents[other] - cents[cluster]
-        projection = float(np.dot(direction, u))
-        if projection <= 0.0:
-            continue  # moving along `direction` goes away from this rival
-        # Boundary: ||α·direction||² == ||α·direction − u||²
-        #        ⇔ α == ||u||² / (2 · direction·u)
-        boundary = float(np.dot(u, u)) / (2.0 * projection)
-        alpha = min(alpha, boundary)
-    return float(max(alpha, 1e-12))
+    return float(
+        alpha_clip_batch(z[np.newaxis, :], centroids, np.asarray([cluster]))[0]
+    )
 
 
 def estimate_offsets(
@@ -73,6 +124,9 @@ def estimate_offsets(
     clip: bool = True,
 ) -> np.ndarray:
     """Compute the per-node offsets ``ŝ`` of Eq. 12.
+
+    All boundary α's over the look-back window are evaluated through one
+    ``(window, N, K, d)`` broadcast — no Python-level per-node loops.
 
     Args:
         stored_history: Per-slot stored measurements ``z``, oldest first;
@@ -107,23 +161,26 @@ def estimate_offsets(
         raise DataError(
             f"memberships must have shape ({num_nodes},), got {memberships.shape}"
         )
-    stored = [
+    stored = np.stack([
         np.asarray(s, dtype=float).reshape(num_nodes, -1)
         for s in stored_history[-window:]
-    ]
-    cents = [
-        np.asarray(c, dtype=float).reshape(-1, stored[0].shape[1])
+    ])  # (window, N, d)
+    dim = stored.shape[2]
+    cents = np.stack([
+        np.asarray(c, dtype=float).reshape(-1, dim)
         for c in centroid_history[-window:]
-    ]
-    dim = stored[0].shape[1]
+    ])  # (window, K, d)
+    _validate_clusters(memberships, cents.shape[1])
+    own = cents[:, memberships, :]  # (window, N, d)
+    diff = stored - own  # (window, N, d)
+    if clip:
+        alphas = _clipped_alphas(diff, cents, own)  # (window, N)
+    else:
+        alphas = np.ones((window, num_nodes))
+    # Accumulate slot by slot (oldest first) so the floating-point
+    # summation order matches the streaming definition exactly.
     offsets = np.zeros((num_nodes, dim))
     for m in range(window):
-        z_slot = stored[m]
-        c_slot = cents[m]
-        for i in range(num_nodes):
-            j = memberships[i]
-            diff = z_slot[i] - c_slot[j]
-            alpha = alpha_clip(z_slot[i], c_slot, j) if clip else 1.0
-            offsets[i] += alpha * diff
+        offsets += alphas[m][:, np.newaxis] * diff[m]
     offsets /= window
     return offsets

@@ -1,0 +1,166 @@
+"""Reference (pre-vectorization) hot-path implementations.
+
+These are the straightforward per-node Python-loop versions of the
+fleet-scale hot path: α-clipped offset estimation (Eq. 12), the
+similarity re-indexing contingency (Eq. 10–11), and the majority-vote
+membership forecast (Sec. V-C).  The production implementations in
+:mod:`repro.forecasting.offsets`, :mod:`repro.clustering.similarity` and
+:mod:`repro.forecasting.membership` are vectorized rewrites of these
+loops; the property tests in ``tests/test_equivalence.py`` assert the
+rewrites are *bit-identical* on randomized traces, and the scaling
+benchmark in ``benchmarks/test_bench_hot_path.py`` measures the speedup
+against them.
+
+They are intentionally kept simple and obviously-correct; do not
+optimize this module.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+import numpy as np
+
+from repro.clustering.similarity import similarity_matrix
+from repro.exceptions import ConfigurationError, DataError
+
+
+def alpha_clip_reference(
+    value: np.ndarray, centroids: np.ndarray, cluster: int
+) -> float:
+    """Per-node α-clipping via an explicit loop over rival centroids."""
+    z = np.atleast_1d(np.asarray(value, dtype=float))
+    cents = np.asarray(centroids, dtype=float)
+    if cents.ndim == 1:
+        cents = cents[:, np.newaxis]
+    num_clusters = cents.shape[0]
+    if cluster < 0 or cluster >= num_clusters:
+        raise ConfigurationError(
+            f"cluster {cluster} outside [0, {num_clusters})"
+        )
+    direction = z - cents[cluster]
+    norm_sq = float((direction * direction).sum())
+    if norm_sq == 0.0:
+        return 1.0
+    alpha = 1.0
+    for other in range(num_clusters):
+        if other == cluster:
+            continue
+        u = cents[other] - cents[cluster]
+        projection = float((direction * u).sum())
+        if projection <= 0.0:
+            continue  # moving along `direction` goes away from this rival
+        # Boundary: ||α·direction||² == ||α·direction − u||²
+        #        ⇔ α == ||u||² / (2 · direction·u)
+        boundary = float((u * u).sum()) / (2.0 * projection)
+        alpha = min(alpha, boundary)
+    return float(max(alpha, 1e-12))
+
+
+def estimate_offsets_reference(
+    stored_history: Sequence[np.ndarray],
+    centroid_history: Sequence[np.ndarray],
+    memberships: np.ndarray,
+    lookback: int,
+    *,
+    clip: bool = True,
+) -> np.ndarray:
+    """Eq. 12 offsets via the original window × node double loop."""
+    if lookback < 0:
+        raise ConfigurationError(f"lookback must be >= 0, got {lookback}")
+    if len(stored_history) != len(centroid_history):
+        raise DataError(
+            "stored_history and centroid_history lengths differ: "
+            f"{len(stored_history)} vs {len(centroid_history)}"
+        )
+    if not stored_history:
+        raise DataError("histories are empty")
+    window = min(lookback + 1, len(stored_history))
+    memberships = np.asarray(memberships, dtype=int)
+    first = np.asarray(stored_history[-window], dtype=float)
+    num_nodes = first.shape[0]
+    if memberships.shape != (num_nodes,):
+        raise DataError(
+            f"memberships must have shape ({num_nodes},), got {memberships.shape}"
+        )
+    stored = [
+        np.asarray(s, dtype=float).reshape(num_nodes, -1)
+        for s in stored_history[-window:]
+    ]
+    cents = [
+        np.asarray(c, dtype=float).reshape(-1, stored[0].shape[1])
+        for c in centroid_history[-window:]
+    ]
+    dim = stored[0].shape[1]
+    offsets = np.zeros((num_nodes, dim))
+    for m in range(window):
+        z_slot = stored[m]
+        c_slot = cents[m]
+        for i in range(num_nodes):
+            j = memberships[i]
+            diff = z_slot[i] - c_slot[j]
+            alpha = alpha_clip_reference(z_slot[i], c_slot, j) if clip else 1.0
+            offsets[i] += alpha * diff
+    offsets /= window
+    return offsets
+
+
+def reindex_weights_reference(
+    kind: str,
+    new_labels: np.ndarray,
+    label_history: Sequence[np.ndarray],
+    num_clusters: int,
+) -> np.ndarray:
+    """Similarity matrix via explicit node-id set construction (Eq. 10).
+
+    Builds the per-cluster node sets from the label arrays — exactly what
+    :meth:`DynamicClusterTracker._reindex` did before the contingency
+    rewrite — then delegates to the set-based similarity functions.
+    """
+    labels = np.asarray(new_labels, dtype=int)
+    new_clusters: List[Set[int]] = [
+        set(np.flatnonzero(labels == k).tolist())
+        for k in range(num_clusters)
+    ]
+    partitions = [
+        [
+            set(np.flatnonzero(np.asarray(past, dtype=int) == j).tolist())
+            for j in range(num_clusters)
+        ]
+        for past in label_history
+    ]
+    return similarity_matrix(kind, new_clusters, partitions)
+
+
+def forecast_membership_reference(
+    label_history: Sequence[np.ndarray], lookback: int
+) -> np.ndarray:
+    """Majority-vote membership forecast via a per-node Python loop."""
+    if lookback < 0:
+        raise ConfigurationError(f"lookback must be >= 0, got {lookback}")
+    if not label_history:
+        raise DataError("label_history is empty")
+    window = [
+        np.asarray(l, dtype=int) for l in label_history[-(lookback + 1):]
+    ]
+    num_nodes = window[0].shape[0]
+    if any(l.shape != (num_nodes,) for l in window):
+        raise DataError("label arrays in history have inconsistent shapes")
+    stacked = np.stack(window)  # (W, N)
+    num_clusters = int(stacked.max()) + 1
+    forecast = np.empty(num_nodes, dtype=int)
+    for i in range(num_nodes):
+        counts = np.bincount(stacked[:, i], minlength=num_clusters)
+        best = counts.max()
+        # Tie-break toward the most recently occupied cluster among the
+        # maximal ones, which keeps the forecast stable under oscillation.
+        candidates = np.flatnonzero(counts == best)
+        if candidates.size == 1:
+            forecast[i] = candidates[0]
+        else:
+            recent = stacked[::-1, i]
+            for label in recent:
+                if label in candidates:
+                    forecast[i] = label
+                    break
+    return forecast

@@ -21,7 +21,7 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from repro.core.config import TransmissionConfig
-from repro.core.types import validate_trace
+from repro.core.types import Measurement, validate_trace
 from repro.exceptions import ConfigurationError
 from repro.simulation.controller import CentralStore
 from repro.simulation.node import LocalNode
@@ -59,6 +59,14 @@ class CollectionResult:
 class CollectionSimulation:
     """Object-level collection simulation.
 
+    When every node runs the same *kind* of policy (all adaptive or all
+    uniform — per-node budgets, control parameters and phases may still
+    differ), :meth:`run` dispatches to a vectorized engine that computes
+    all nodes' decisions with whole-fleet array operations and then
+    fast-forwards the node/policy/transport objects to the exact state a
+    slot-by-slot run would have produced.  Heterogeneous or custom
+    policies fall back to the faithful per-node object loop.
+
     Args:
         num_nodes: Number of local nodes.
         policy_factory: Called with each node id; returns that node's
@@ -86,12 +94,55 @@ class CollectionSimulation:
             The :class:`CollectionResult` with stored values per slot.
         """
         data = validate_trace(trace)
-        num_steps, num_nodes, dim = data.shape
+        num_nodes = data.shape[1]
         if num_nodes != len(self.nodes):
             raise ConfigurationError(
                 f"trace has {num_nodes} nodes, simulation has {len(self.nodes)}"
             )
+        if self._batchable():
+            return self._run_batched(data)
+        return self._run_object_loop(data)
+
+    def _batchable(self) -> bool:
+        """True when the fleet can be advanced with array operations.
+
+        Requires a fresh start (no node has observed anything, nothing
+        in flight) and a homogeneous policy *type* across the fleet —
+        exactly :class:`AdaptiveTransmissionPolicy` or exactly
+        :class:`UniformTransmissionPolicy` (subclasses may override
+        behavior the vectorized recurrences would not reproduce).
+        """
+        if any(node.time != 0 for node in self.nodes):
+            return False
+        if any(node.policy.decisions.size != 0 for node in self.nodes):
+            return False
+        if self.channel.pending:
+            return False
+        policy_types = {type(node.policy) for node in self.nodes}
+        return policy_types in (
+            {AdaptiveTransmissionPolicy},
+            {UniformTransmissionPolicy},
+        )
+
+    def _run_object_loop(self, data: np.ndarray) -> CollectionResult:
+        """Faithful slot-by-slot, node-by-node simulation."""
+        num_steps, num_nodes, dim = data.shape
         store = CentralStore(num_nodes, dim)
+        # Continuation runs: nodes that already observed earlier slots
+        # carry a mirror of the central value — seed the fresh store
+        # with it so silent nodes keep reporting their last transmitted
+        # value instead of the store's zero initialization.
+        carried = [
+            Measurement(
+                node=node.node_id,
+                time=node.time - 1,
+                value=node.stored_value.copy(),
+            )
+            for node in self.nodes
+            if node.time > 0 and node.stored_value.shape == (dim,)
+        ]
+        if carried:
+            store.apply(carried, now=-1)
         stored = np.empty_like(data)
         decisions = np.zeros((num_steps, num_nodes), dtype=int)
         for t in range(num_steps):
@@ -106,11 +157,125 @@ class CollectionSimulation:
             stored=stored, decisions=decisions, stats=self.channel.stats
         )
 
+    def _run_batched(self, data: np.ndarray) -> CollectionResult:
+        """Whole-fleet vectorized run with object-state fast-forward."""
+        num_steps, num_nodes, dim = data.shape
+        policies = [node.policy for node in self.nodes]
+        if isinstance(policies[0], AdaptiveTransmissionPolicy):
+            budgets = np.array([p.config.budget for p in policies])
+            v0s = np.array([p.config.v0 for p in policies])
+            gammas = np.array([p.config.gamma for p in policies])
+            stored, decisions, queue_samples, queues = _adaptive_recurrence(
+                data, budgets, v0s, gammas
+            )
+            for i, policy in enumerate(policies):
+                policy.sync_batch(
+                    decisions[:, i], queue_samples[:, i], queues[i]
+                )
+        else:
+            budgets = np.array([p.budget for p in policies])
+            phases = np.array([p.phase for p in policies])
+            stored, decisions, accumulator = _uniform_recurrence(
+                data, budgets, phases
+            )
+            for i, policy in enumerate(policies):
+                policy.sync_batch(decisions[:, i], accumulator[i])
+
+        # Transport accounting identical to per-message Channel.send.
+        stats = self.channel.stats
+        per_node = decisions.sum(axis=0)
+        messages = int(per_node.sum())
+        stats.messages += messages
+        stats.payload_floats += messages * dim
+        for i, count in enumerate(per_node.tolist()):
+            if count:
+                stats.per_node_messages[i] = (
+                    stats.per_node_messages.get(i, 0) + int(count)
+                )
+        for i, node in enumerate(self.nodes):
+            node.sync_batch(num_steps, stored[-1, i])
+        return CollectionResult(
+            stored=stored, decisions=decisions, stats=stats
+        )
+
 
 def _prepare(trace: np.ndarray) -> Tuple[np.ndarray, int, int, int]:
     data = validate_trace(trace)
     num_steps, num_nodes, dim = data.shape
     return data, num_steps, num_nodes, dim
+
+
+def _adaptive_recurrence(
+    data: np.ndarray,
+    budgets: np.ndarray,
+    v0s: np.ndarray,
+    gammas: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Fleet-wide Lyapunov drift-plus-penalty recurrence.
+
+    Evaluates, per slot, the same two objective values as
+    :meth:`AdaptiveTransmissionPolicy.decide` for every node at once
+    (per-node budgets and control parameters are supported), including
+    the forced first-slot transmission charged by
+    :meth:`~repro.transmission.adaptive.AdaptiveTransmissionPolicy.first_transmission`.
+
+    Returns:
+        ``(stored, decisions, queue_samples, queues)`` where
+        ``queue_samples[t]`` holds ``Q_i(t)`` sampled before slot ``t``'s
+        decision and ``queues`` is the final post-run queue vector.
+    """
+    num_steps, num_nodes, dim = data.shape
+    stored = np.empty_like(data)
+    decisions = np.zeros((num_steps, num_nodes), dtype=int)
+    queue_samples = np.empty((num_steps, num_nodes))
+    queues = np.zeros(num_nodes)
+    stored_now = data[0].copy()
+
+    # Slot 0: forced transmissions, charged to the budget (penalty F=0 so
+    # the policy itself would choose to skip; the node forces the send).
+    queue_samples[0] = queues
+    decisions[0, :] = 1
+    stored[0] = stored_now
+    queues = queues + (1.0 - budgets)
+
+    for t in range(1, num_steps):
+        queue_samples[t] = queues
+        v_t = v0s * float(t + 1) ** gammas
+        penalty = ((stored_now - data[t]) ** 2).sum(axis=1) / dim
+        objective_skip = v_t * penalty - queues * budgets
+        objective_send = queues * (1.0 - budgets)
+        transmit = objective_send < objective_skip
+        stored_now = np.where(transmit[:, np.newaxis], data[t], stored_now)
+        queues = queues + (transmit.astype(float) - budgets)
+        decisions[t] = transmit
+        stored[t] = stored_now
+    return stored, decisions, queue_samples, queues
+
+
+def _uniform_recurrence(
+    data: np.ndarray, budgets: np.ndarray, phases: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fleet-wide error-diffusion uniform-sampling recurrence.
+
+    Returns:
+        ``(stored, decisions, accumulator)`` with the final per-node
+        accumulator state.
+    """
+    num_steps, num_nodes, _ = data.shape
+    accumulator = np.asarray(phases, dtype=float).copy()
+    stored_now = data[0].copy()
+    stored = np.empty_like(data)
+    decisions = np.zeros((num_steps, num_nodes), dtype=int)
+    decisions[0, :] = 1  # forced initial transmission
+    stored[0] = stored_now
+    for t in range(1, num_steps):
+        accumulator += budgets
+        transmit = accumulator >= 1.0
+        accumulator[transmit] -= 1.0
+        stored_now = np.where(transmit[:, np.newaxis], data[t], stored_now)
+        decisions[t] = transmit
+        stored[t] = stored_now
+    return stored, decisions, accumulator
 
 
 def simulate_adaptive_collection(
@@ -123,27 +288,13 @@ def simulate_adaptive_collection(
     forced first-slot transmission performed by
     :class:`~repro.simulation.node.LocalNode`.
     """
-    data, num_steps, num_nodes, _ = _prepare(trace)
-    budget = config.budget
-    queues = np.zeros(num_nodes)
-    stored_now = data[0].copy()
-    stored = np.empty_like(data)
-    decisions = np.zeros((num_steps, num_nodes), dtype=int)
-
-    # Slot 0: forced transmissions, charged to the budget (penalty F=0 so
-    # the policy itself would choose to skip; the node forces the send).
-    decisions[0, :] = 1
-    stored[0] = stored_now
-    queues += 1.0 - budget
-
-    for t in range(1, num_steps):
-        v_t = config.v0 * (t + 1) ** config.gamma
-        penalty = np.mean((stored_now - data[t]) ** 2, axis=1)
-        transmit = queues < v_t * penalty
-        stored_now = np.where(transmit[:, np.newaxis], data[t], stored_now)
-        queues += transmit.astype(float) - budget
-        decisions[t] = transmit
-        stored[t] = stored_now
+    data, _, num_nodes, _ = _prepare(trace)
+    stored, decisions, _, _ = _adaptive_recurrence(
+        data,
+        np.full(num_nodes, config.budget),
+        np.full(num_nodes, config.v0),
+        np.full(num_nodes, config.gamma),
+    )
     return CollectionResult(stored=stored, decisions=decisions)
 
 
@@ -166,21 +317,12 @@ def simulate_uniform_collection(
     """
     if not 0.0 < budget <= 1.0:
         raise ConfigurationError(f"budget must be in (0, 1], got {budget}")
-    data, num_steps, num_nodes, _ = _prepare(trace)
+    data, _, num_nodes, _ = _prepare(trace)
     rng = np.random.default_rng(seed)
-    accumulator = (
+    phases = (
         rng.uniform(0.0, 1.0, size=num_nodes) if stagger else np.zeros(num_nodes)
     )
-    stored_now = data[0].copy()
-    stored = np.empty_like(data)
-    decisions = np.zeros((num_steps, num_nodes), dtype=int)
-    decisions[0, :] = 1  # forced initial transmission
-    stored[0] = stored_now
-    for t in range(1, num_steps):
-        accumulator += budget
-        transmit = accumulator >= 1.0
-        accumulator[transmit] -= 1.0
-        stored_now = np.where(transmit[:, np.newaxis], data[t], stored_now)
-        decisions[t] = transmit
-        stored[t] = stored_now
+    stored, decisions, _ = _uniform_recurrence(
+        data, np.full(num_nodes, budget), phases
+    )
     return CollectionResult(stored=stored, decisions=decisions)

@@ -75,6 +75,23 @@ class LocalNode:
             return Measurement(node=self.node_id, time=time, value=x.copy())
         return None
 
+    def sync_batch(self, num_steps: int, stored_value: np.ndarray) -> None:
+        """Fast-forward the node past a vectorized batch run.
+
+        The caller is responsible for syncing the policy separately (see
+        the policies' ``sync_batch``); this advances the node's clock and
+        its mirror of the centrally stored value.
+
+        Args:
+            num_steps: How many slots the batch run covered.
+            stored_value: The node's last transmitted value (which equals
+                the central store's final ``z_i``).
+        """
+        self._time += int(num_steps)
+        # Copy, matching observe(): the mirror must not alias the
+        # caller's result arrays.
+        self._stored = np.atleast_1d(np.array(stored_value, dtype=float))
+
     def reset(self) -> None:
         """Clear state (also resets the policy's history)."""
         self._stored = None

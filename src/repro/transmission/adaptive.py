@@ -94,6 +94,27 @@ class AdaptiveTransmissionPolicy(TransmissionPolicy):
         self._record(transmit)
         return transmit
 
+    def sync_batch(
+        self,
+        decisions: np.ndarray,
+        queue_samples: np.ndarray,
+        final_queue: float,
+    ) -> None:
+        """Fast-forward the policy past a vectorized batch run.
+
+        Args:
+            decisions: Binary decisions for the processed slots.
+            queue_samples: ``Q_i(t)`` sampled before each decision,
+                aligned with ``decisions``.
+            final_queue: Queue value after the last processed slot.
+        """
+        self.record_batch(decisions)
+        self._queue_history.extend(
+            np.asarray(queue_samples, dtype=float).ravel().tolist()
+        )
+        self._queue = float(final_queue)
+        self._time += int(np.asarray(decisions).size)
+
     def reset(self) -> None:
         super().reset()
         self._queue = 0.0

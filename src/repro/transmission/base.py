@@ -47,6 +47,18 @@ class TransmissionPolicy(abc.ABC):
     def _record(self, transmitted: bool) -> None:
         self._decisions.append(1 if transmitted else 0)
 
+    def record_batch(self, decisions: np.ndarray) -> None:
+        """Append one decision per slot for a whole batch run at once.
+
+        Used by vectorized engines that compute many slots' decisions in
+        a single array operation and then fast-forward the per-node
+        policy objects, keeping :attr:`decisions` and
+        :attr:`empirical_frequency` consistent with a slot-by-slot run.
+        """
+        self._decisions.extend(
+            np.asarray(decisions, dtype=int).ravel().tolist()
+        )
+
     @property
     def decisions(self) -> np.ndarray:
         """Binary history of decisions, one entry per slot."""

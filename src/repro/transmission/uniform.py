@@ -46,6 +46,18 @@ class UniformTransmissionPolicy(TransmissionPolicy):
         self._record(transmit)
         return transmit
 
+    def sync_batch(
+        self, decisions: np.ndarray, final_accumulator: float
+    ) -> None:
+        """Fast-forward the policy past a vectorized batch run.
+
+        Args:
+            decisions: Binary decisions for the processed slots.
+            final_accumulator: Accumulator value after the last slot.
+        """
+        self.record_batch(decisions)
+        self._accumulator = float(final_accumulator)
+
     def reset(self) -> None:
         super().reset()
         self._accumulator = self.phase

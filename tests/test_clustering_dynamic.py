@@ -120,7 +120,52 @@ class TestDynamicClusterTracker:
 
     def test_centroid_series_empty_before_updates(self):
         tracker = DynamicClusterTracker(2, seed=0)
-        assert tracker.centroid_series(0).size == 0
+        series = tracker.centroid_series(0)
+        assert series.size == 0
+        # Regression: the empty series must keep the (t, d) layout so
+        # downstream code can index series[:, 0] / stack it untouched.
+        assert series.ndim == 2
+        assert series.shape == (0, 1)
+
+    def test_centroid_series_empty_shape_consistent_after_update(self):
+        # Once data has been seen the dimensionality is known; shapes of
+        # empty and non-empty series must agree on d.
+        tracker = DynamicClusterTracker(2, seed=0)
+        rng = np.random.default_rng(8)
+        values = np.vstack([
+            rng.normal([0.1, 0.2, 0.3], 0.01, (6, 3)),
+            rng.normal([0.8, 0.9, 0.7], 0.01, (6, 3)),
+        ])
+        tracker.update(values)
+        assert tracker.centroid_series(0).shape == (1, 3)
+
+    def test_fleet_size_change_between_updates(self):
+        # A node joining or leaving the fleet must not break re-indexing
+        # (absent ids simply drop out of the Eq. 10 intersection).
+        tracker = DynamicClusterTracker(2, seed=0)
+        rng = np.random.default_rng(10)
+        first = tracker.update(two_group_slot(rng, n_per=10))
+        low_cluster = int(first.labels[0])
+        shrunk = tracker.update(two_group_slot(rng, n_per=8))
+        assert shrunk.labels.shape == (16,)
+        assert shrunk.labels[0] == low_cluster
+        grown = tracker.update(two_group_slot(rng, n_per=12))
+        assert grown.labels.shape == (24,)
+        assert grown.labels[0] == low_cluster
+
+    def test_partition_history_compatibility_view(self):
+        # The set-of-sets view must stay consistent with the labels.
+        tracker = DynamicClusterTracker(2, history_depth=2, seed=0)
+        rng = np.random.default_rng(9)
+        for _ in range(4):
+            assignment = tracker.update(two_group_slot(rng))
+        partitions = tracker._partition_history
+        assert len(partitions) == 2
+        newest = partitions[-1]
+        for j in range(2):
+            assert newest[j] == set(
+                np.flatnonzero(assignment.labels == j).tolist()
+            )
 
     def test_multidimensional_values(self):
         tracker = DynamicClusterTracker(2, seed=0)

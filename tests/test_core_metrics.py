@@ -39,6 +39,55 @@ class TestInstantaneousRmse:
         with pytest.raises(DataError):
             instantaneous_rmse(np.zeros(3), np.zeros(4))
 
+    def test_single_vector_node_not_transposed(self):
+        # Regression: a genuine (1, d) input is ONE node with a d-vector
+        # measurement — the error must be normalized by N=1, not by d.
+        est = np.array([[1.0, 0.0, 0.0, 0.0]])
+        tru = np.zeros((1, 4))
+        assert instantaneous_rmse(est, tru) == pytest.approx(1.0)
+
+    def test_single_vector_node_matches_fleet_row(self):
+        # One (1, d) node must contribute the same squared error as that
+        # row does inside a larger (N, d) fleet computation.
+        rng = np.random.default_rng(5)
+        est = rng.random((3, 4))
+        tru = rng.random((3, 4))
+        fleet_sq = instantaneous_rmse(est, tru) ** 2 * 3
+        rows_sq = sum(
+            instantaneous_rmse(est[i : i + 1], tru[i : i + 1]) ** 2
+            for i in range(3)
+        )
+        assert rows_sq == pytest.approx(fleet_sq)
+
+    def test_batch_matches_per_slot(self):
+        from repro.core.metrics import instantaneous_rmse_batch
+
+        rng = np.random.default_rng(6)
+        est = rng.random((7, 5, 3))
+        tru = rng.random((7, 5, 3))
+        batched = instantaneous_rmse_batch(est, tru)
+        assert batched.shape == (7,)
+        for t in range(7):
+            assert batched[t] == instantaneous_rmse(est[t], tru[t])
+
+    def test_batch_scalar_nodes(self):
+        from repro.core.metrics import instantaneous_rmse_batch
+
+        rng = np.random.default_rng(7)
+        est = rng.random((4, 6))
+        tru = rng.random((4, 6))
+        batched = instantaneous_rmse_batch(est, tru)
+        for t in range(4):
+            assert batched[t] == instantaneous_rmse(est[t], tru[t])
+
+    def test_batch_shape_errors(self):
+        from repro.core.metrics import instantaneous_rmse_batch
+
+        with pytest.raises(DataError):
+            instantaneous_rmse_batch(np.zeros((3, 2)), np.zeros((3, 3)))
+        with pytest.raises(DataError):
+            instantaneous_rmse_batch(np.zeros(3), np.zeros(3))
+
     @given(
         arrays(float, (6,), elements=st.floats(-1, 1)),
         arrays(float, (6,), elements=st.floats(-1, 1)),
