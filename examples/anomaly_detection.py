@@ -19,15 +19,14 @@ Run:
 
 import numpy as np
 
+from repro.api import Engine
 from repro.core.config import (
     ClusteringConfig,
     ForecastingConfig,
     PipelineConfig,
     TransmissionConfig,
 )
-from repro.core.pipeline import OnlinePipeline
 from repro.datasets import load_alibaba_like
-from repro.simulation.collection import simulate_adaptive_collection
 
 NUM_NODES = 60
 NUM_STEPS = 420
@@ -58,8 +57,7 @@ def main() -> None:
             retrain_interval=150,
         ),
     )
-    collected = simulate_adaptive_collection(cpu, config.transmission)
-    pipeline = OnlinePipeline(NUM_NODES, 1, config)
+    engine = Engine(config, num_nodes=NUM_NODES, num_resources=1)
 
     residuals = []  # rows: per-step |stored - forecast| per node
     violations = np.zeros(NUM_NODES, dtype=int)
@@ -69,12 +67,12 @@ def main() -> None:
     # anomaly before it can be noticed.
     forecast_queue = []
     for t in range(NUM_STEPS):
-        output = pipeline.step(collected.stored[t])
+        output = engine.step(cpu[t])
         matured = None
         if len(forecast_queue) >= HORIZON:
             matured = forecast_queue.pop(0)
         if matured is not None:
-            residual = np.abs(collected.stored[t, :, 0] - matured)
+            residual = np.abs(output.stored[:, 0] - matured)
             if len(residuals) >= BASELINE_WINDOW:
                 window = np.stack(residuals[-BASELINE_WINDOW:])
                 median = np.median(window, axis=0)

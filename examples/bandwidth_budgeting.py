@@ -17,8 +17,8 @@ import numpy as np
 from repro.core.config import TransmissionConfig
 from repro.core.metrics import instantaneous_rmse, time_averaged_rmse
 from repro.datasets import load_bitbrains_like
+from repro.registry import TRANSMISSION_POLICIES
 from repro.simulation.collection import CollectionSimulation
-from repro.transmission.adaptive import AdaptiveTransmissionPolicy
 from repro.transmission.uniform import UniformTransmissionPolicy
 
 NUM_NODES = 50
@@ -39,10 +39,14 @@ def main() -> None:
 
     print(f"{'B':>5}  {'policy':<9} {'messages':>9} {'KiB':>8} "
           f"{'freq':>6} {'RMSE(h=0)':>10}")
+    adaptive_builder = TRANSMISSION_POLICIES.get("adaptive")
     for budget in BUDGETS:
         for name, factory in (
-            ("adaptive", lambda i: AdaptiveTransmissionPolicy(
-                TransmissionConfig(budget=budget))),
+            # Registry-built adaptive policy (what Engine does per node).
+            ("adaptive", lambda i: adaptive_builder(
+                TransmissionConfig(budget=budget), i)),
+            # Custom factory: stagger the uniform fleet's phases (the
+            # registry default uses phase 0 on every node).
             ("uniform", lambda i: UniformTransmissionPolicy(
                 budget, phase=i / NUM_NODES)),
         ):

@@ -18,15 +18,14 @@ Run:
 
 import numpy as np
 
+from repro.api import Engine
 from repro.core.config import (
     ClusteringConfig,
     ForecastingConfig,
     PipelineConfig,
     TransmissionConfig,
 )
-from repro.core.pipeline import OnlinePipeline
 from repro.datasets import load_google_like
-from repro.simulation.collection import simulate_adaptive_collection
 
 NUM_NODES = 80
 NUM_STEPS = 450
@@ -55,10 +54,10 @@ def main() -> None:
             retrain_interval=150,
         ),
     )
-    collected = simulate_adaptive_collection(cpu, config.transmission)
-    pipeline = OnlinePipeline(NUM_NODES, 1, config)
-
-    outputs = [pipeline.step(collected.stored[t]) for t in range(NUM_STEPS)]
+    # Streaming deployment: per-node adaptive policies, transport,
+    # central store and pipeline advanced one slot at a time.
+    engine = Engine(config, num_nodes=NUM_NODES, num_resources=1)
+    outputs = [engine.step(cpu[t]) for t in range(NUM_STEPS)]
 
     forecast_scores = []
     stale_scores = []
@@ -68,7 +67,7 @@ def main() -> None:
             continue
         predicted = outputs[t].node_forecasts[HORIZON][:, 0]
         chosen_forecast = np.argsort(predicted)[:TASKS_TO_PLACE]
-        chosen_stale = np.argsort(collected.stored[t, :, 0])[:TASKS_TO_PLACE]
+        chosen_stale = np.argsort(outputs[t].stored[:, 0])[:TASKS_TO_PLACE]
         forecast_scores.append(headroom_overlap(chosen_forecast, cpu[target]))
         stale_scores.append(headroom_overlap(chosen_stale, cpu[target]))
 

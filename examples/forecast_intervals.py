@@ -19,7 +19,7 @@ from repro.clustering.dynamic import DynamicClusterTracker
 from repro.core.config import TransmissionConfig
 from repro.datasets import load_alibaba_like
 from repro.forecasting.arima import grid_search
-from repro.simulation.collection import simulate_adaptive_collection
+from repro.simulation.collection import collect
 
 NUM_NODES = 50
 NUM_STEPS = 700
@@ -30,7 +30,7 @@ CONFIDENCE = 0.9
 
 def main() -> None:
     dataset = load_alibaba_like(num_nodes=NUM_NODES, num_steps=NUM_STEPS)
-    stored = simulate_adaptive_collection(
+    stored = collect(
         dataset.resource("cpu"), TransmissionConfig(budget=0.3)
     ).stored[:, :, 0]
     tracker = DynamicClusterTracker(3, seed=0)

@@ -10,7 +10,7 @@ Run:
     python examples/quickstart.py
 """
 
-from repro import PipelineConfig, run_pipeline
+from repro import Engine, PipelineConfig
 from repro.datasets import load_alibaba_like
 
 
@@ -25,7 +25,7 @@ def main() -> None:
         initial_collection=150,
         retrain_interval=150,
     )
-    result = run_pipeline(cpu, config)
+    result = Engine(config).run(cpu)
 
     print(f"dataset: {dataset.name}, {dataset.num_nodes} nodes, "
           f"{dataset.num_steps} steps")
@@ -36,6 +36,10 @@ def main() -> None:
     for horizon, rmse in sorted(result.rmse_by_horizon.items()):
         label = "staleness only" if horizon == 0 else f"{horizon} steps ahead"
         print(f"  h={horizon:<3d} {rmse:.4f}   ({label})")
+    print("stage timings: " + "  ".join(
+        f"{stage}={seconds:.2f}s"
+        for stage, seconds in result.timings.items()
+    ))
 
 
 if __name__ == "__main__":

@@ -18,16 +18,21 @@ Systems* (ICDCS 2019).  The library provides:
 
 Quickstart::
 
-    from repro import run_pipeline, PipelineConfig
+    from repro import Engine, PipelineConfig
     from repro.datasets import load_alibaba_like
 
     dataset = load_alibaba_like(num_nodes=50, num_steps=400)
-    result = run_pipeline(
-        dataset.resource("cpu"), PipelineConfig.small()
-    )
+    engine = Engine(PipelineConfig.small())
+    result = engine.run(dataset.resource("cpu"))
     print(result.rmse_by_horizon)
+
+Every stage is pluggable by name through :mod:`repro.registry`
+(forecasters, transmission policies, collection backends, similarity
+measures); ``Engine.from_config`` additionally accepts a config dict or
+a JSON file path, so deployments are constructible from plain data.
 """
 
+from repro.api import Engine, RunResult
 from repro.core import (
     ClusteringConfig,
     ForecastingConfig,
@@ -45,10 +50,19 @@ from repro.exceptions import (
     ReproError,
     SimulationError,
 )
+from repro.registry import (
+    COLLECTION_BACKENDS,
+    FORECASTERS,
+    SIMILARITY_MEASURES,
+    TRANSMISSION_POLICIES,
+    Registry,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Engine",
+    "RunResult",
     "ClusteringConfig",
     "ForecastingConfig",
     "OnlinePipeline",
@@ -56,6 +70,11 @@ __all__ = [
     "PipelineResult",
     "TransmissionConfig",
     "run_pipeline",
+    "Registry",
+    "COLLECTION_BACKENDS",
+    "FORECASTERS",
+    "SIMILARITY_MEASURES",
+    "TRANSMISSION_POLICIES",
     "ConfigurationError",
     "ConvergenceError",
     "DataError",

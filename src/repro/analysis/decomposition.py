@@ -25,8 +25,8 @@ from typing import Dict
 import numpy as np
 
 from repro.analysis.reporting import format_mapping
+from repro.api import Engine
 from repro.core.config import PipelineConfig
-from repro.core.pipeline import run_pipeline
 from repro.core.types import validate_trace
 from repro.exceptions import DataError
 
@@ -96,11 +96,11 @@ def decompose_error(
             f"horizon {horizon} outside [1, "
             f"{config.forecasting.max_horizon}]"
         )
-    adaptive = run_pipeline(
-        data, config, collection="adaptive", horizons=[0, horizon]
+    adaptive = Engine(config, collection="adaptive").run(
+        data, horizons=[0, horizon]
     )
-    perfect = run_pipeline(
-        data, config, collection="perfect", horizons=[horizon]
+    perfect = Engine(config, collection="perfect").run(
+        data, horizons=[horizon]
     )
     return ErrorDecomposition(
         horizon=horizon,

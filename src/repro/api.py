@@ -1,0 +1,403 @@
+"""Unified public API: one engine, pluggable stages.
+
+:class:`Engine` is the single entry point to the paper's system.  It
+composes the registry-backed stages (collection backend, transmission
+policy, dynamic clustering, per-cluster forecasting) and subsumes the
+two historical entry points:
+
+* **batch** — :meth:`Engine.run` drives a recorded trace through
+  collection, clustering and forecasting and returns a
+  :class:`RunResult` with the paper's RMSE metrics, transport stats and
+  per-stage wall-clock timings (what :func:`repro.core.pipeline.
+  run_pipeline` did);
+* **streaming** — :meth:`Engine.step` advances a live deployment by one
+  slot: per-node transmission policies, the transport channel, the
+  central store's staleness rule, then clustering + forecasting (what
+  ``MonitoringSystem.tick`` did).
+
+Engines are constructible from plain data — a :class:`~repro.core.
+config.PipelineConfig`, its :meth:`~repro.core.config.PipelineConfig.
+to_dict` mapping, or a path to a JSON file of that mapping — via
+:meth:`Engine.from_config`, so experiment drivers, the CLI and config
+files all share one wiring path::
+
+    from repro.api import Engine
+
+    engine = Engine.from_config("config.json")
+    result = engine.run(trace)                  # batch
+    print(result.rmse_by_horizon, result.timings)
+
+    engine = Engine.from_config(config, num_nodes=50, num_resources=1)
+    output = engine.step(x_t)                   # streaming, one slot
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.metrics import instantaneous_rmse_batch
+from repro.core.pipeline import (
+    ForecasterFactory,
+    OnlinePipeline,
+    PipelineResult,
+    StepOutput,
+)
+from repro.core.types import validate_trace
+from repro.exceptions import ConfigurationError, DataError
+from repro.registry import COLLECTION_BACKENDS, TRANSMISSION_POLICIES
+from repro.simulation.controller import CentralStore
+from repro.simulation.node import LocalNode
+from repro.simulation.transport import Channel, TransportStats
+from repro.transmission.base import TransmissionPolicy
+
+#: A per-node policy factory receives the node id.
+PolicyFactory = Callable[[int], TransmissionPolicy]
+
+
+@dataclass
+class RunResult(PipelineResult):
+    """A :class:`~repro.core.pipeline.PipelineResult` plus provenance.
+
+    Attributes (beyond the inherited metrics):
+        transport: Message/byte counters when the collection backend
+            produced them (object-level engines); None for the
+            vectorized backends.
+        timings: Wall-clock seconds per stage: ``collection``,
+            ``clustering``, ``training``, ``forecasting``, ``metrics``
+            and ``total``.
+        config: The resolved configuration the run used.
+        collection: The collection-backend name the run used.
+    """
+
+    transport: Optional[TransportStats]
+    timings: Dict[str, float]
+    config: PipelineConfig
+    collection: str
+
+    def summary(self) -> str:
+        """Human-readable run summary (CLI/report friendly)."""
+        lines = [
+            f"collection={self.collection} "
+            f"model={self.config.forecasting.model} "
+            f"K={self.config.clustering.num_clusters}",
+            f"transmission frequency: {self.decisions.mean():.3f} "
+            f"(budget {self.config.transmission.budget})",
+            f"intermediate RMSE: {self.intermediate_rmse:.4f}",
+        ]
+        for horizon, rmse in sorted(self.rmse_by_horizon.items()):
+            lines.append(f"  RMSE(h={horizon}) = {rmse:.4f}")
+        stage_part = " ".join(
+            f"{stage}={seconds:.2f}s"
+            for stage, seconds in self.timings.items()
+        )
+        lines.append(f"timings: {stage_part}")
+        return "\n".join(lines)
+
+
+class Engine:
+    """Unified batch + streaming engine over registry-backed stages.
+
+    Args:
+        config: Full pipeline configuration.
+        collection: Collection backend for :meth:`run` — any name in
+            :data:`repro.registry.COLLECTION_BACKENDS`.
+        num_nodes: Fleet size for streaming.  Optional: inferred from
+            the first :meth:`step` measurement when omitted.
+        num_resources: Resource dimensionality d for streaming.
+            Optional, inferred like ``num_nodes``.
+        policy: Per-node transmission policy for :meth:`step` — any name
+            in :data:`repro.registry.TRANSMISSION_POLICIES`.
+        policy_factory: Override ``policy`` with a custom per-node
+            factory (receives the node id).
+        forecaster_factory: Override the forecasting model construction;
+            receives ``(cluster_id, group_index)``.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig = PipelineConfig(),
+        *,
+        collection: str = "adaptive",
+        num_nodes: Optional[int] = None,
+        num_resources: Optional[int] = None,
+        policy: str = "adaptive",
+        policy_factory: Optional[PolicyFactory] = None,
+        forecaster_factory: Optional[ForecasterFactory] = None,
+    ) -> None:
+        if not isinstance(config, PipelineConfig):
+            raise ConfigurationError(
+                "config must be a PipelineConfig (use Engine.from_config "
+                f"for mappings and JSON files), got {type(config).__name__}"
+            )
+        self.config = config
+        self.collection = collection
+        # Fail fast, with close-match suggestions, on unknown names.
+        COLLECTION_BACKENDS.get(collection)
+        if policy_factory is None:
+            builder = TRANSMISSION_POLICIES.get(policy)
+
+            def policy_factory(node_id: int) -> TransmissionPolicy:
+                return builder(config.transmission, node_id)
+
+        self._policy_factory: PolicyFactory = policy_factory
+        self._forecaster_factory = forecaster_factory
+
+        # Streaming state (one live deployment per engine).
+        self.nodes: List[LocalNode] = []
+        self.channel: Optional[Channel] = None
+        self.store: Optional[CentralStore] = None
+        self.pipeline: Optional[OnlinePipeline] = None
+        self._stream_time = 0
+        if (num_nodes is None) != (num_resources is None):
+            raise ConfigurationError(
+                "pass num_nodes and num_resources together (or neither)"
+            )
+        if num_nodes is not None and num_resources is not None:
+            self._build_streaming(num_nodes, num_resources)
+
+    @classmethod
+    def from_config(
+        cls,
+        config,
+        **kwargs,
+    ) -> "Engine":
+        """Build an engine from a config in any of its three forms.
+
+        Args:
+            config: A :class:`PipelineConfig`, a mapping in
+                :meth:`PipelineConfig.to_dict` form, or a path to a JSON
+                file holding that mapping.
+            **kwargs: Forwarded to :class:`Engine` (``collection``,
+                ``num_nodes``, ``policy``, …).
+        """
+        if isinstance(config, (str, Path)):
+            path = config
+            with open(path, "r", encoding="utf-8") as handle:
+                config = json.load(handle)
+            if not isinstance(config, Mapping):
+                raise ConfigurationError(
+                    f"config file {str(path)!r} must hold a JSON object "
+                    f"in PipelineConfig.to_dict form, got "
+                    f"{type(config).__name__}"
+                )
+        if isinstance(config, Mapping):
+            config = PipelineConfig.from_dict(config)
+        return cls(config, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Streaming mode
+    # ------------------------------------------------------------------
+
+    def _build_streaming(self, num_nodes: int, num_resources: int) -> None:
+        if num_nodes < 1 or num_resources < 1:
+            raise ConfigurationError(
+                "num_nodes and num_resources must be >= 1"
+            )
+        self.nodes = [
+            LocalNode(i, self._policy_factory(i)) for i in range(num_nodes)
+        ]
+        self.channel = Channel()
+        self.store = CentralStore(num_nodes, num_resources)
+        self.pipeline = OnlinePipeline(
+            num_nodes,
+            num_resources,
+            self.config,
+            forecaster_factory=self._forecaster_factory,
+        )
+
+    @property
+    def time(self) -> int:
+        """Number of streaming slots processed."""
+        return self._stream_time
+
+    @property
+    def transport_stats(self) -> TransportStats:
+        """Cumulative streaming message/byte counters."""
+        if self.channel is None:
+            return TransportStats()
+        return self.channel.stats
+
+    @property
+    def empirical_frequency(self) -> float:
+        """Fleet-average streaming transmission frequency so far."""
+        if self._stream_time == 0 or not self.nodes:
+            return 0.0
+        return self.transport_stats.messages / (
+            self._stream_time * len(self.nodes)
+        )
+
+    def step(self, measurements: np.ndarray) -> StepOutput:
+        """Advance the streaming deployment by one time slot.
+
+        Every node's transmission policy sees the fresh measurement, the
+        channel delivers, the central store applies the staleness rule,
+        and the pipeline clusters + forecasts the stored values.
+
+        Args:
+            measurements: Fresh true measurements ``x_t``, shape
+                ``(N, d)`` (or ``(N,)`` when d = 1).  On the first step
+                of an engine built without explicit dimensions, ``N``
+                and ``d`` are inferred from this shape.
+
+        Returns:
+            The pipeline's :class:`StepOutput` for this slot.
+        """
+        x = np.asarray(measurements, dtype=float)
+        if x.ndim == 1:
+            x = x[:, np.newaxis]
+        if x.ndim != 2:
+            raise DataError(f"measurements must be (N, d), got {x.shape}")
+        if self.store is None:
+            self._build_streaming(x.shape[0], x.shape[1])
+        if x.shape != (len(self.nodes), self.store.dimension):
+            raise DataError(
+                f"measurements must be ({len(self.nodes)}, "
+                f"{self.store.dimension}), got {x.shape}"
+            )
+        for node in self.nodes:
+            message = node.observe(x[node.node_id])
+            if message is not None:
+                self.channel.send(message)
+        self.store.apply(self.channel.drain(), now=self._stream_time)
+        output = self.pipeline.step(self.store.values)
+        self._stream_time += 1
+        return output
+
+    # ------------------------------------------------------------------
+    # Batch mode
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        trace: np.ndarray,
+        *,
+        horizons: Optional[Sequence[int]] = None,
+    ) -> RunResult:
+        """Run collection + clustering + forecasting over a full trace.
+
+        Batch mode is stateless with respect to the engine: each call
+        builds a fresh pipeline, so repeated runs are independent and
+        reproducible (streaming state, if any, is untouched).
+
+        Args:
+            trace: True measurements, shape ``(T, N)`` or ``(T, N, d)``.
+            horizons: Horizons to evaluate; default ``0..max_horizon``
+                (``h = 0`` is the pure collection error).
+
+        Returns:
+            The :class:`RunResult` with RMSE per horizon, transport
+            stats and per-stage timings.
+        """
+        run_started = time.perf_counter()
+        data = validate_trace(trace)
+        num_steps, num_nodes, num_resources = data.shape
+        config = self.config
+
+        started = time.perf_counter()
+        collected = COLLECTION_BACKENDS.create(
+            self.collection, data, config.transmission
+        )
+        collection_seconds = time.perf_counter() - started
+
+        pipeline = OnlinePipeline(
+            num_nodes,
+            num_resources,
+            config,
+            forecaster_factory=self._forecaster_factory,
+        )
+        max_h = config.forecasting.max_horizon
+        eval_horizons = list(horizons) if horizons is not None else list(
+            range(0, max_h + 1)
+        )
+        for h in eval_horizons:
+            if h < 0 or h > max_h:
+                raise ConfigurationError(
+                    f"horizon {h} outside [0, {max_h}]"
+                )
+
+        sq_sums: Dict[int, float] = {h: 0.0 for h in eval_horizons}
+        sq_counts: Dict[int, int] = {h: 0 for h in eval_horizons}
+        forecast_horizons = np.asarray(
+            [h for h in eval_horizons if h != 0], dtype=int
+        )
+        # Per-slot centroid-of-assigned-cluster estimates, accumulated so
+        # the intermediate RMSE is one batched operation at the end.
+        centers_series = np.empty_like(collected.stored)
+        groups = pipeline.groups
+        forecast_start = -1
+        metrics_seconds = 0.0
+
+        for t in range(num_steps):
+            output = pipeline.step(collected.stored[t])
+            for g, assignment in enumerate(output.assignments):
+                centers_series[t][:, groups[g]] = assignment.centroids[
+                    assignment.labels
+                ]
+
+            if output.node_forecasts is not None:
+                if forecast_start < 0:
+                    forecast_start = t
+                started = time.perf_counter()
+                live = forecast_horizons[t + forecast_horizons < num_steps]
+                if live.size:
+                    # All horizons of this slot in one array op.
+                    estimates = np.stack(
+                        [output.node_forecasts[h] for h in live.tolist()]
+                    )
+                    errors = instantaneous_rmse_batch(
+                        estimates, data[t + live]
+                    )
+                    for h, err in zip(live.tolist(), errors.tolist()):
+                        sq_sums[h] += err**2
+                        sq_counts[h] += 1
+                metrics_seconds += time.perf_counter() - started
+
+        # Batched accumulation over all slots at once: the pure
+        # collection error (h = 0) and the intermediate RMSE — the
+        # per-slot values match the streaming instantaneous_rmse
+        # definition exactly.
+        started = time.perf_counter()
+        if 0 in sq_sums:
+            errors = instantaneous_rmse_batch(collected.stored, data)
+            sq_sums[0] = float(np.sum(errors**2))
+            sq_counts[0] = num_steps
+        group_sq = np.stack([
+            instantaneous_rmse_batch(
+                centers_series[:, :, group], collected.stored[:, :, group]
+            )
+            ** 2
+            for group in groups
+        ])  # (groups, T)
+        intermediate_sq = group_sq.mean(axis=0)
+
+        rmse_by_horizon = {}
+        for h in eval_horizons:
+            if sq_counts[h] > 0:
+                rmse_by_horizon[h] = float(np.sqrt(sq_sums[h] / sq_counts[h]))
+        metrics_seconds += time.perf_counter() - started
+
+        timings = {"collection": collection_seconds}
+        timings.update(pipeline.stage_seconds)
+        timings["metrics"] = metrics_seconds
+        timings["total"] = time.perf_counter() - run_started
+        return RunResult(
+            stored=collected.stored,
+            decisions=collected.decisions,
+            rmse_by_horizon=rmse_by_horizon,
+            intermediate_rmse=float(np.sqrt(np.mean(intermediate_sq))),
+            forecast_start=forecast_start,
+            transport=collected.stats,
+            timings=timings,
+            config=config,
+            collection=self.collection,
+        )
+
+
+__all__ = ["Engine", "PolicyFactory", "RunResult"]

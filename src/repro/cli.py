@@ -2,9 +2,13 @@
 
 Commands:
 
-* ``list`` — show the experiment registry (one entry per table/figure).
+* ``list`` — show the experiment registry (one entry per table/figure)
+  and the pluggable-component registries (forecasters, collection
+  backends, transmission policies, similarity measures).
 * ``run <experiment> [...]`` — run one or more experiments and print
   their formatted results, with ``--nodes/--steps`` scale overrides.
+* ``run --config <json>`` — build an :class:`~repro.api.Engine` from a
+  JSON config file and run it end to end on a synthetic trace.
 * ``demo`` — run the quickstart pipeline on a synthetic trace.
 """
 
@@ -15,10 +19,17 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.api import Engine
 from repro.core.config import PipelineConfig
-from repro.core.pipeline import run_pipeline
 from repro.datasets import load_alibaba_like
+from repro.exceptions import ReproError
 from repro.experiments import EXPERIMENTS
+from repro.registry import (
+    COLLECTION_BACKENDS,
+    FORECASTERS,
+    SIMILARITY_MEASURES,
+    TRANSMISSION_POLICIES,
+)
 
 #: Parameter names accepted by every experiment runner for scaling.
 _SCALE_KEYS = ("num_nodes", "num_steps")
@@ -35,12 +46,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command")
 
-    commands.add_parser("list", help="list available experiments")
+    commands.add_parser(
+        "list", help="list experiments and registered components"
+    )
 
-    run_parser = commands.add_parser("run", help="run experiments")
+    run_parser = commands.add_parser(
+        "run", help="run experiments, or an engine from a config file"
+    )
     run_parser.add_argument(
-        "experiments", nargs="+",
+        "experiments", nargs="*",
         help=f"experiment ids (from: {', '.join(sorted(EXPERIMENTS))})",
+    )
+    run_parser.add_argument(
+        "--config", default=None, metavar="JSON",
+        help="run the unified engine from a JSON config file "
+             "(PipelineConfig.to_dict form) instead of experiments",
+    )
+    run_parser.add_argument(
+        "--collection", default="adaptive",
+        help="collection backend for --config runs "
+             f"(one of: {', '.join(COLLECTION_BACKENDS.available())})",
     )
     run_parser.add_argument(
         "--nodes", type=int, default=None,
@@ -67,10 +92,55 @@ def _command_list() -> int:
         doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()
         summary = doc[0] if doc else ""
         print(f"  {name:<22} {summary}")
+    print("\ncomponents (registry -> names):")
+    for label, registry in (
+        ("forecasters", FORECASTERS),
+        ("collection backends", COLLECTION_BACKENDS),
+        ("transmission policies", TRANSMISSION_POLICIES),
+        ("similarity measures", SIMILARITY_MEASURES),
+    ):
+        print(f"  {label:<22} {', '.join(registry.available())}")
+    return 0
+
+
+def _command_run_config(args: argparse.Namespace) -> int:
+    num_nodes = args.nodes if args.nodes is not None else 24
+    num_steps = args.steps if args.steps is not None else 240
+    try:
+        engine = Engine.from_config(args.config, collection=args.collection)
+    except OSError as exc:
+        print(f"cannot read --config {args.config!r}: {exc}", file=sys.stderr)
+        return 2
+    except (TypeError, ValueError, ReproError) as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    dataset = load_alibaba_like(num_nodes=num_nodes, num_steps=num_steps)
+    result = engine.run(dataset.resource("cpu"))
+    print(
+        f"engine run: config={args.config} "
+        f"({num_nodes} nodes, {num_steps} steps)"
+    )
+    print(result.summary())
     return 0
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    if args.config is not None:
+        if args.experiments:
+            print(
+                "--config and experiment ids are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        return _command_run_config(args)
+    if args.collection != "adaptive":
+        print("--collection only applies to --config runs; experiments "
+              "choose their own collection", file=sys.stderr)
+        return 2
+    if not args.experiments:
+        print("nothing to run: pass experiment ids or --config",
+              file=sys.stderr)
+        return 2
     unknown = [e for e in args.experiments if e not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
@@ -109,12 +179,9 @@ def _command_demo(args: argparse.Namespace) -> int:
         initial_collection=max(50, args.steps // 4),
         retrain_interval=max(50, args.steps // 4),
     )
-    result = run_pipeline(dataset.resource("cpu"), config)
+    result = Engine(config).run(dataset.resource("cpu"))
     print(f"dataset: {dataset.name} ({args.nodes} nodes, {args.steps} steps)")
-    print(f"transmission frequency: {result.decisions.mean():.3f}")
-    print(f"intermediate RMSE: {result.intermediate_rmse:.4f}")
-    for horizon, rmse in sorted(result.rmse_by_horizon.items()):
-        print(f"  RMSE(h={horizon}) = {rmse:.4f}")
+    print(result.summary())
     return 0
 
 

@@ -23,11 +23,13 @@ Two equivalent formulations exist side by side:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError, DataError
+from repro.registry import SIMILARITY_MEASURES, register_similarity
 
 
 def history_intersection(history: Sequence[Sequence[Set[int]]], cluster: int) -> Set[int]:
@@ -104,17 +106,33 @@ def jaccard_similarity_matrix(
     return weights
 
 
+@dataclass(frozen=True)
+class SimilarityMeasure:
+    """A registered cluster-similarity measure.
+
+    Both formulations of the same measure travel together so every
+    consumer (readable set-based reference, vectorized label-based hot
+    path) resolves through one registry name.
+
+    Attributes:
+        name: Registry key.
+        from_sets: ``(new_clusters, history) -> (K, K)`` on node-id sets.
+        from_labels: ``(new_labels, label_history, num_clusters) ->
+            (K, K)`` on label arrays.
+    """
+
+    name: str
+    from_sets: Callable[..., np.ndarray]
+    from_labels: Callable[..., np.ndarray]
+
+
 def similarity_matrix(
     kind: str,
     new_clusters: Sequence[Set[int]],
     history: Sequence[Sequence[Set[int]]],
 ) -> np.ndarray:
-    """Dispatch on the similarity kind (``"intersection"`` or ``"jaccard"``)."""
-    if kind == "intersection":
-        return intersection_similarity_matrix(new_clusters, history)
-    if kind == "jaccard":
-        return jaccard_similarity_matrix(new_clusters, history)
-    raise ConfigurationError(f"unknown similarity kind {kind!r}")
+    """Dispatch on a similarity name registered in SIMILARITY_MEASURES."""
+    return SIMILARITY_MEASURES.get(kind).from_sets(new_clusters, history)
 
 
 # ----------------------------------------------------------------------
@@ -274,12 +292,22 @@ def similarity_matrix_from_labels(
     num_clusters: int,
 ) -> np.ndarray:
     """Label-array twin of :func:`similarity_matrix`."""
-    if kind == "intersection":
-        return intersection_similarity_from_labels(
-            new_labels, label_history, num_clusters
-        )
-    if kind == "jaccard":
-        return jaccard_similarity_from_labels(
-            new_labels, label_history, num_clusters
-        )
-    raise ConfigurationError(f"unknown similarity kind {kind!r}")
+    return SIMILARITY_MEASURES.get(kind).from_labels(
+        new_labels, label_history, num_clusters
+    )
+
+
+register_similarity("intersection")(
+    SimilarityMeasure(
+        name="intersection",
+        from_sets=intersection_similarity_matrix,
+        from_labels=intersection_similarity_from_labels,
+    )
+)
+register_similarity("jaccard")(
+    SimilarityMeasure(
+        name="jaccard",
+        from_sets=jaccard_similarity_matrix,
+        from_labels=jaccard_similarity_from_labels,
+    )
+)

@@ -9,10 +9,11 @@ phase of 1000 steps, and model retraining every 288 steps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.registry import FORECASTERS, SIMILARITY_MEASURES, closest
 
 
 @dataclass(frozen=True)
@@ -30,11 +31,15 @@ class TransmissionConfig:
             trade-off is active at this data scale while the empirical
             frequency still tracks ``B`` tightly (see DESIGN.md §3).
         gamma: Growth exponent ``γ`` in (0, 1) (paper: 0.65).
+        deadband_delta: Half-width δ of the deadband (send-on-delta)
+            baseline policy/backend — only consumed when the
+            ``"deadband"`` registry entries are selected.
     """
 
     budget: float = 0.3
     v0: float = 1.0
     gamma: float = 0.65
+    deadband_delta: float = 0.05
 
     def __post_init__(self) -> None:
         if not 0.0 < self.budget <= 1.0:
@@ -43,6 +48,10 @@ class TransmissionConfig:
             raise ConfigurationError(f"v0 must be positive, got {self.v0}")
         if not 0.0 < self.gamma < 1.0:
             raise ConfigurationError(f"gamma must be in (0, 1), got {self.gamma}")
+        if self.deadband_delta <= 0:
+            raise ConfigurationError(
+                f"deadband_delta must be positive, got {self.deadband_delta}"
+            )
 
 
 @dataclass(frozen=True)
@@ -52,8 +61,10 @@ class ClusteringConfig:
     Attributes:
         num_clusters: Number of clusters ``K`` (= number of forecast models).
         history_depth: Look-back ``M`` in the similarity measure (Eq. 10).
-        similarity: ``"intersection"`` for the paper's measure, ``"jaccard"``
-            for the normalized Jaccard-index alternative (Fig. 11).
+        similarity: Any name registered in
+            :data:`repro.registry.SIMILARITY_MEASURES` —
+            ``"intersection"`` for the paper's measure (Eq. 10),
+            ``"jaccard"`` for the normalized alternative (Fig. 11).
         window: Temporal clustering window length (Fig. 5); 1 means
             clustering on single-time-step measurements (the paper's best).
         scalar_per_resource: If True, cluster each resource type
@@ -80,10 +91,9 @@ class ClusteringConfig:
             raise ConfigurationError(
                 f"history_depth (M) must be >= 1, got {self.history_depth}"
             )
-        if self.similarity not in ("intersection", "jaccard"):
+        if self.similarity not in SIMILARITY_MEASURES:
             raise ConfigurationError(
-                f"similarity must be 'intersection' or 'jaccard', got "
-                f"{self.similarity!r}"
+                SIMILARITY_MEASURES.unknown_message(self.similarity)
             )
         if self.window < 1:
             raise ConfigurationError(f"window must be >= 1, got {self.window}")
@@ -98,11 +108,12 @@ class ForecastingConfig:
     """Parameters of the temporal forecasting stage (Sec. V-C, VI-A3).
 
     Attributes:
-        model: One of ``"arima"``, ``"lstm"``, ``"sample_hold"``,
-            ``"ses"`` (simple exponential smoothing), ``"holt"``,
-            ``"holt_winters"``, or ``"ar"`` (Yule–Walker AR).  The paper
-            evaluates the first three; the rest are the "etc." of
-            Sec. V-C.
+        model: Any name registered in
+            :data:`repro.registry.FORECASTERS`: ``"arima"``, ``"lstm"``,
+            ``"sample_hold"``, ``"mean"``, ``"ses"`` (simple exponential
+            smoothing), ``"holt"``, ``"holt_winters"``, or ``"ar"``
+            (Yule–Walker AR).  The paper evaluates the first three; the
+            rest are the "etc." of Sec. V-C.
         membership_lookback: Look-back ``M'`` for forecasting cluster
             membership and computing per-node offsets (Eq. 12).
         initial_collection: Number of initial steps with no forecasting
@@ -141,14 +152,8 @@ class ForecastingConfig:
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
-        valid_models = (
-            "arima", "lstm", "sample_hold", "ses", "holt",
-            "holt_winters", "ar",
-        )
-        if self.model not in valid_models:
-            raise ConfigurationError(
-                f"model must be one of {valid_models}, got {self.model!r}"
-            )
+        if self.model not in FORECASTERS:
+            raise ConfigurationError(FORECASTERS.unknown_message(self.model))
         if self.membership_lookback < 1:
             raise ConfigurationError(
                 f"membership_lookback (M') must be >= 1, got "
@@ -186,6 +191,23 @@ class ForecastingConfig:
             raise ConfigurationError("ar_order must be >= 1")
 
 
+def _section_from_mapping(cls: type, mapping: Mapping, section: str) -> Any:
+    """Build one stage config from a mapping, rejecting unknown keys."""
+    if not isinstance(mapping, Mapping):
+        raise ConfigurationError(
+            f"{section!r} section must be a mapping, got "
+            f"{type(mapping).__name__}"
+        )
+    allowed = {f.name for f in fields(cls)}
+    for key in mapping:
+        if key not in allowed:
+            raise ConfigurationError(
+                f"unknown {section} option {key!r}"
+                f"{closest(key, allowed)}"
+            )
+    return cls(**dict(mapping))
+
+
 @dataclass(frozen=True)
 class PipelineConfig:
     """Top-level configuration bundling the three stages."""
@@ -193,6 +215,45 @@ class PipelineConfig:
     transmission: TransmissionConfig = field(default_factory=TransmissionConfig)
     clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
     forecasting: ForecastingConfig = field(default_factory=ForecastingConfig)
+
+    #: Stage section name → config class (the to_dict/from_dict schema).
+    _SECTIONS = (
+        ("transmission", TransmissionConfig),
+        ("clustering", ClusteringConfig),
+        ("forecasting", ForecastingConfig),
+    )
+
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-serializable form; round-trips through :meth:`from_dict`."""
+        return {
+            name: asdict(getattr(self, name)) for name, _ in self._SECTIONS
+        }
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping) -> "PipelineConfig":
+        """Rebuild a config from :meth:`to_dict` output (e.g. JSON).
+
+        Missing sections/options fall back to their defaults; unknown
+        names raise :class:`~repro.exceptions.ConfigurationError` with a
+        close-match suggestion.
+        """
+        if not isinstance(mapping, Mapping):
+            raise ConfigurationError(
+                f"config must be a mapping, got {type(mapping).__name__}"
+            )
+        known = {name for name, _ in cls._SECTIONS}
+        for key in mapping:
+            if key not in known:
+                raise ConfigurationError(
+                    f"unknown config section {key!r}{closest(key, known)}; "
+                    f"expected: {', '.join(sorted(known))}"
+                )
+        return cls(**{
+            name: _section_from_mapping(
+                section_cls, mapping.get(name, {}), name
+            )
+            for name, section_cls in cls._SECTIONS
+        })
 
     @staticmethod
     def paper_defaults() -> "PipelineConfig":

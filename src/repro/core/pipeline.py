@@ -22,6 +22,8 @@ collect the paper's RMSE metrics.
 from __future__ import annotations
 
 import logging
+import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
@@ -29,71 +31,33 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import ForecastingConfig, PipelineConfig
-from repro.core.metrics import instantaneous_rmse_batch
-from repro.core.types import ClusterAssignment, validate_trace
+from repro.core.types import ClusterAssignment
 from repro.clustering.dynamic import DynamicClusterTracker
 from repro.exceptions import ConfigurationError, DataError, ReproError
-from repro.forecasting.arima import AutoArima
-from repro.forecasting.base import Forecaster
-from repro.forecasting.lstm import LstmForecaster
 from repro.forecasting.membership import forecast_membership
 from repro.forecasting.offsets import estimate_offsets
-from repro.forecasting.exponential import (
-    HoltLinear,
-    HoltWinters,
-    SimpleExponentialSmoothing,
-)
-from repro.forecasting.sample_hold import SampleHoldForecaster
-from repro.forecasting.yule_walker import YuleWalkerAR
-from repro.simulation.collection import (
-    CollectionResult,
-    simulate_adaptive_collection,
-    simulate_uniform_collection,
-)
+from repro.registry import FORECASTERS
 
 logger = logging.getLogger(__name__)
 
-#: A forecaster factory receives (cluster_id, resource_index) and returns
-#: a fresh, unfitted forecaster.
+#: A forecaster factory receives ``(cluster_id, group_index)`` — the
+#: persistent cluster id and the index of the resource group being
+#: forecast (one group per resource under scalar clustering, a single
+#: group 0 under joint clustering) — and returns a fresh, unfitted
+#: forecaster.
 ForecasterFactory = Callable[[int, int], object]
 
 
 def default_forecaster_factory(config: ForecastingConfig) -> ForecasterFactory:
-    """Build the forecaster factory implied by a ForecastingConfig."""
+    """Build the registry-backed factory implied by a ForecastingConfig.
 
-    def factory(cluster: int, resource: int) -> object:
-        if config.model == "sample_hold":
-            return SampleHoldForecaster()
-        if config.model == "arima":
-            return AutoArima(
-                max_p=config.arima_max_p,
-                max_d=config.arima_max_d,
-                max_q=config.arima_max_q,
-                max_P=config.arima_max_P,
-                max_D=config.arima_max_D,
-                max_Q=config.arima_max_Q,
-                seasonal_period=config.arima_seasonal_period,
-            )
-        if config.model == "ses":
-            return SimpleExponentialSmoothing()
-        if config.model == "holt":
-            return HoltLinear()
-        if config.model == "holt_winters":
-            return HoltWinters(period=config.hw_period)
-        if config.model == "ar":
-            return YuleWalkerAR(order=config.ar_order)
-        if config.model == "lstm":
-            seed = None
-            if config.seed is not None:
-                # Distinct but reproducible per (cluster, resource).
-                seed = config.seed + 1009 * cluster + 9176 * resource
-            return LstmForecaster(
-                hidden_dim=config.lstm_hidden,
-                lookback=config.lstm_lookback,
-                epochs=config.lstm_epochs,
-                seed=seed,
-            )
-        raise ConfigurationError(f"unknown model {config.model!r}")
+    The returned factory receives ``(cluster, group)`` and delegates to
+    the builder registered under ``config.model`` in
+    :data:`repro.registry.FORECASTERS`.
+    """
+
+    def factory(cluster: int, group: int) -> object:
+        return FORECASTERS.create(config.model, config, cluster, group)
 
     return factory
 
@@ -134,7 +98,7 @@ class OnlinePipeline:
         num_resources: Resource dimensionality d.
         config: Full pipeline configuration.
         forecaster_factory: Override the model construction; receives
-            ``(cluster_id, resource_index)``.
+            ``(cluster_id, group_index)`` — see :data:`ForecasterFactory`.
     """
 
     def __init__(
@@ -184,6 +148,10 @@ class OnlinePipeline:
         ]
         self._time = 0
         self._last_train: Optional[int] = None
+        #: Cumulative wall-clock seconds per stage across all steps.
+        self.stage_seconds: Dict[str, float] = {
+            "clustering": 0.0, "training": 0.0, "forecasting": 0.0,
+        }
 
     @property
     def time(self) -> int:
@@ -192,6 +160,15 @@ class OnlinePipeline:
     @property
     def num_groups(self) -> int:
         return len(self._groups)
+
+    @property
+    def groups(self) -> Tuple[Tuple[int, ...], ...]:
+        """Resource groups clustered together, as resource-index tuples.
+
+        ``((0,), (1,), …)`` under scalar (per-resource) clustering, a
+        single ``(0, 1, …, d-1)`` group under joint clustering.
+        """
+        return tuple(tuple(group) for group in self._groups)
 
     def tracker(self, group: int) -> DynamicClusterTracker:
         """Access the dynamic tracker of one resource group."""
@@ -228,23 +205,29 @@ class OnlinePipeline:
             )
         self._stored_history.append(z.copy())
 
+        started = time.perf_counter()
         assignments = []
         for g, group in enumerate(self._groups):
             values = z[:, group]
             assignment = self._trackers[g].update(values)
             assignments.append(assignment)
             self._label_history[g].append(assignment.labels)
+        self.stage_seconds["clustering"] += time.perf_counter() - started
 
+        started = time.perf_counter()
         if self._should_train():
             self._train_models()
         elif self._forecasting_active():
             self._update_models(assignments)
+        self.stage_seconds["training"] += time.perf_counter() - started
 
         output = StepOutput(
             time=self._time, stored=z.copy(), assignments=assignments
         )
         if self._forecasting_active():
+            started = time.perf_counter()
             self._forecast_into(output, assignments)
+            self.stage_seconds["forecasting"] += time.perf_counter() - started
         self._time += 1
         return output
 
@@ -413,108 +396,34 @@ def run_pipeline(
 ) -> PipelineResult:
     """Run collection + clustering + forecasting over a recorded trace.
 
+    .. deprecated::
+        ``run_pipeline`` is a thin wrapper kept for compatibility; use
+        :class:`repro.api.Engine` —
+        ``Engine(config, collection=...).run(trace)`` — which returns
+        the same numbers plus transport stats and per-stage timings.
+
     Args:
         trace: True measurements, shape ``(T, N)`` or ``(T, N, d)``.
         config: Pipeline configuration.
-        collection: ``"adaptive"`` (paper), ``"uniform"`` or ``"perfect"``
-            (no staleness; B = 1).
+        collection: Any backend registered in
+            :data:`repro.registry.COLLECTION_BACKENDS` (``"adaptive"``
+            is the paper's policy; ``"perfect"`` has no staleness).
         forecaster_factory: Optional model override.
         horizons: Horizons to evaluate; default ``0..max_horizon``.
 
     Returns:
-        The :class:`PipelineResult` with RMSE per horizon.
+        The :class:`repro.api.RunResult` (a :class:`PipelineResult`)
+        with RMSE per horizon.
     """
-    data = validate_trace(trace)
-    num_steps, num_nodes, num_resources = data.shape
-    if collection == "adaptive":
-        collected = simulate_adaptive_collection(data, config.transmission)
-    elif collection == "uniform":
-        collected = simulate_uniform_collection(
-            data, config.transmission.budget
-        )
-    elif collection == "perfect":
-        collected = CollectionResult(
-            stored=data.copy(),
-            decisions=np.ones((num_steps, num_nodes), dtype=int),
-        )
-    else:
-        raise ConfigurationError(
-            f"collection must be 'adaptive', 'uniform' or 'perfect', "
-            f"got {collection!r}"
-        )
-
-    pipeline = OnlinePipeline(
-        num_nodes,
-        num_resources,
-        config,
-        forecaster_factory=forecaster_factory,
+    warnings.warn(
+        "run_pipeline is deprecated; use "
+        "repro.api.Engine(config, collection=...).run(trace)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    max_h = config.forecasting.max_horizon
-    eval_horizons = list(horizons) if horizons is not None else list(
-        range(0, max_h + 1)
+    from repro.api import Engine
+
+    engine = Engine(
+        config, collection=collection, forecaster_factory=forecaster_factory
     )
-    for h in eval_horizons:
-        if h < 0 or h > max_h:
-            raise ConfigurationError(
-                f"horizon {h} outside [0, {max_h}]"
-            )
-
-    sq_sums: Dict[int, float] = {h: 0.0 for h in eval_horizons}
-    sq_counts: Dict[int, int] = {h: 0 for h in eval_horizons}
-    forecast_horizons = np.asarray(
-        [h for h in eval_horizons if h != 0], dtype=int
-    )
-    # Per-slot centroid-of-assigned-cluster estimates, accumulated so the
-    # intermediate RMSE is computed in one batched operation at the end.
-    centers_series = np.empty_like(collected.stored)
-    groups = pipeline._groups
-    forecast_start = -1
-
-    for t in range(num_steps):
-        output = pipeline.step(collected.stored[t])
-        for g, assignment in enumerate(output.assignments):
-            centers_series[t][:, groups[g]] = assignment.centroids[
-                assignment.labels
-            ]
-
-        if output.node_forecasts is not None:
-            if forecast_start < 0:
-                forecast_start = t
-            live = forecast_horizons[t + forecast_horizons < num_steps]
-            if live.size:
-                # All horizons of this slot in one array op.
-                estimates = np.stack(
-                    [output.node_forecasts[h] for h in live.tolist()]
-                )
-                errors = instantaneous_rmse_batch(estimates, data[t + live])
-                for h, err in zip(live.tolist(), errors.tolist()):
-                    sq_sums[h] += err**2
-                    sq_counts[h] += 1
-
-    # Batched accumulation over all slots at once: the pure collection
-    # error (h = 0) and the intermediate RMSE — the per-slot values match
-    # the streaming instantaneous_rmse definition exactly.
-    if 0 in sq_sums:
-        errors = instantaneous_rmse_batch(collected.stored, data)
-        sq_sums[0] = float(np.sum(errors**2))
-        sq_counts[0] = num_steps
-    group_sq = np.stack([
-        instantaneous_rmse_batch(
-            centers_series[:, :, group], collected.stored[:, :, group]
-        )
-        ** 2
-        for group in groups
-    ])  # (groups, T)
-    intermediate_sq = group_sq.mean(axis=0)
-
-    rmse_by_horizon = {}
-    for h in eval_horizons:
-        if sq_counts[h] > 0:
-            rmse_by_horizon[h] = float(np.sqrt(sq_sums[h] / sq_counts[h]))
-    return PipelineResult(
-        stored=collected.stored,
-        decisions=collected.decisions,
-        rmse_by_horizon=rmse_by_horizon,
-        intermediate_rmse=float(np.sqrt(np.mean(intermediate_sq))),
-        forecast_start=forecast_start,
-    )
+    return engine.run(trace, horizons=horizons)

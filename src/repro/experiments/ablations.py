@@ -35,7 +35,7 @@ from repro.experiments.common import (
     run_clustering,
     sample_hold_forecast_rmse,
 )
-from repro.simulation.collection import simulate_adaptive_collection
+from repro.simulation.collection import collect
 
 
 def _unmatched_assignments(
@@ -88,7 +88,7 @@ def run_ablation_reindexing(
     """Hungarian re-indexing vs raw K-means label order."""
     dataset = load_alibaba_like(num_nodes=num_nodes, num_steps=num_steps)
     trace = dataset.resource("cpu")
-    stored = simulate_adaptive_collection(
+    stored = collect(
         trace, TransmissionConfig(budget=budget)
     ).stored[:, :, 0]
     matched = run_clustering(stored, "proposed", num_clusters, seed=seed)
@@ -138,7 +138,7 @@ def run_ablation_offsets(
     """Eq. 12 offsets (clipped) vs raw offsets vs none."""
     dataset = load_google_like(num_nodes=num_nodes, num_steps=num_steps)
     trace = dataset.resource("cpu")
-    stored = simulate_adaptive_collection(
+    stored = collect(
         trace, TransmissionConfig(budget=budget)
     ).stored[:, :, 0]
     assignments = run_clustering(stored, "proposed", num_clusters, seed=seed)
@@ -249,7 +249,7 @@ def run_ablation_deadband(
         deadband_freq[name] = simulate_deadband_collection(
             trace, delta
         ).empirical_frequency
-        adaptive_freq[name] = simulate_adaptive_collection(
+        adaptive_freq[name] = collect(
             trace, TransmissionConfig(budget=target)
         ).empirical_frequency
     return DeadbandAblationResult(
@@ -294,7 +294,7 @@ def run_ablation_warm_start(
     """Warm-started per-step K-means vs fresh k-means++ restarts."""
     dataset = load_alibaba_like(num_nodes=num_nodes, num_steps=num_steps)
     trace = dataset.resource("cpu")
-    stored = simulate_adaptive_collection(
+    stored = collect(
         trace, TransmissionConfig(budget=budget)
     ).stored[:, :, 0]
     intermediate: Dict[str, float] = {}

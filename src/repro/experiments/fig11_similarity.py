@@ -21,7 +21,7 @@ from repro.experiments.common import (
     run_clustering,
     sample_hold_forecast_rmse,
 )
-from repro.simulation.collection import simulate_adaptive_collection
+from repro.simulation.collection import collect
 
 SIMILARITIES = ("intersection", "jaccard")
 
@@ -79,7 +79,7 @@ def run_fig11(
     for name, dataset in datasets.items():
         for resource in resources:
             trace = dataset.resource(resource)
-            stored = simulate_adaptive_collection(
+            stored = collect(
                 trace, TransmissionConfig(budget=budget)
             ).stored[:, :, 0]
             for similarity in SIMILARITIES:

@@ -15,7 +15,7 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.core.config import TransmissionConfig
 from repro.experiments.common import load_cluster_datasets
-from repro.simulation.collection import simulate_adaptive_collection
+from repro.simulation.collection import collect
 
 #: The paper sweeps requested frequencies on a log grid in [0.01, ~0.5].
 DEFAULT_BUDGETS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5)
@@ -64,7 +64,7 @@ def run_fig3(
         freqs = []
         for budget in budgets:
             config = TransmissionConfig(budget=budget)
-            result = simulate_adaptive_collection(trace, config)
+            result = collect(trace, config)
             freqs.append(result.empirical_frequency)
         actual[name] = freqs
     return Fig3Result(budgets=budgets, actual=actual)

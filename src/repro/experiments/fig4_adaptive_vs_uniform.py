@@ -18,8 +18,7 @@ from repro.core.config import TransmissionConfig
 from repro.core.metrics import instantaneous_rmse, time_averaged_rmse
 from repro.experiments.common import RESOURCES, load_cluster_datasets
 from repro.simulation.collection import (
-    simulate_adaptive_collection,
-    simulate_uniform_collection,
+    collect,
 )
 
 DEFAULT_BUDGETS = (0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0)
@@ -86,10 +85,13 @@ def run_fig4(
             adaptive_values = []
             uniform_values = []
             for budget in budgets:
-                adaptive = simulate_adaptive_collection(
+                adaptive = collect(
                     trace, TransmissionConfig(budget=budget)
                 )
-                uniform = simulate_uniform_collection(trace, budget)
+                uniform = collect(
+                    trace, TransmissionConfig(budget=budget),
+                    backend="uniform",
+                )
                 adaptive_values.append(
                     staleness_rmse(adaptive.stored[:, :, 0], trace)
                 )

@@ -18,7 +18,7 @@ from repro.clustering.windowing import WindowedFeatureBuilder
 from repro.core.config import TransmissionConfig
 from repro.core.metrics import instantaneous_rmse, time_averaged_rmse
 from repro.experiments.common import RESOURCES, load_cluster_datasets
-from repro.simulation.collection import simulate_adaptive_collection
+from repro.simulation.collection import collect
 
 DEFAULT_WINDOWS = (1, 5, 10, 20, 30)
 
@@ -60,7 +60,7 @@ def run_fig5(
     for name, dataset in datasets.items():
         for resource in resources:
             trace = dataset.resource(resource)
-            stored = simulate_adaptive_collection(
+            stored = collect(
                 trace, TransmissionConfig(budget=budget)
             ).stored[:, :, 0]
             values = []

@@ -22,7 +22,7 @@ from repro.experiments.common import (
     load_cluster_datasets,
     run_clustering,
 )
-from repro.simulation.collection import simulate_adaptive_collection
+from repro.simulation.collection import collect
 
 DEFAULT_BUDGETS = (0.05, 0.1, 0.2, 0.3, 0.5, 0.8)
 METHODS = ("proposed", "minimum_distance", "static")
@@ -75,7 +75,7 @@ def run_fig6(
             trace = dataset.resource(resource)
             per_method: Dict[str, List[float]] = {m: [] for m in METHODS}
             for budget in budgets:
-                stored = simulate_adaptive_collection(
+                stored = collect(
                     trace, TransmissionConfig(budget=budget)
                 ).stored[:, :, 0]
                 for method in METHODS:

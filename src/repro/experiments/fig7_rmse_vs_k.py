@@ -20,7 +20,7 @@ from repro.experiments.common import (
     load_cluster_datasets,
     run_clustering,
 )
-from repro.simulation.collection import simulate_adaptive_collection
+from repro.simulation.collection import collect
 
 DEFAULT_NUM_CLUSTERS = (1, 2, 3, 5, 10, 20)
 METHODS = ("proposed", "minimum_distance")
@@ -68,7 +68,7 @@ def run_fig7(
     for name, dataset in datasets.items():
         for resource in resources:
             trace = dataset.resource(resource)
-            stored = simulate_adaptive_collection(
+            stored = collect(
                 trace, TransmissionConfig(budget=budget)
             ).stored[:, :, 0]
             per_method: Dict[str, List[float]] = {m: [] for m in METHODS}

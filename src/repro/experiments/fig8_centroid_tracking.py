@@ -22,7 +22,7 @@ from repro.experiments.common import rolling_forecast
 from repro.forecasting.arima import AutoArima
 from repro.forecasting.lstm import LstmForecaster
 from repro.forecasting.sample_hold import SampleHoldForecaster
-from repro.simulation.collection import simulate_adaptive_collection
+from repro.simulation.collection import collect
 
 
 @dataclass
@@ -71,7 +71,7 @@ def run_fig8(
     """Regenerate the Fig. 8 tracking experiment."""
     dataset = load_alibaba_like(num_nodes=num_nodes, num_steps=num_steps)
     trace = dataset.resource("cpu")
-    stored = simulate_adaptive_collection(
+    stored = collect(
         trace, TransmissionConfig(budget=budget)
     ).stored[:, :, 0]
     tracker = DynamicClusterTracker(num_clusters, seed=seed)

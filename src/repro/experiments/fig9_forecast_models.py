@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.reporting import format_table
+from repro.api import Engine
 from repro.core.config import (
     ClusteringConfig,
     ForecastingConfig,
@@ -23,7 +24,6 @@ from repro.core.config import (
     TransmissionConfig,
 )
 from repro.core.metrics import standard_deviation_bound
-from repro.core.pipeline import run_pipeline
 from repro.experiments.common import load_cluster_datasets
 
 
@@ -109,13 +109,13 @@ def run_fig9(
                 model, num_clusters, max_h, initial_collection,
                 retrain_interval, budget, seed,
             )
-            result = run_pipeline(trace, config, horizons=list(horizons))
+            result = Engine(config).run(trace, horizons=list(horizons))
             rmse[(name, model)] = result.rmse_by_horizon
         if include_per_node:
             config = _config(
                 "sample_hold", num_nodes, max_h, initial_collection,
                 retrain_interval, budget, seed,
             )
-            result = run_pipeline(trace, config, horizons=list(horizons))
+            result = Engine(config).run(trace, horizons=list(horizons))
             rmse[(name, "sample_hold_K=N")] = result.rmse_by_horizon
     return Fig9Result(horizons=horizons, rmse=rmse, stddev_bound=stddev)

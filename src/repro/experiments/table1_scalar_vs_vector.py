@@ -18,7 +18,7 @@ from repro.clustering.dynamic import DynamicClusterTracker
 from repro.core.config import TransmissionConfig
 from repro.core.metrics import instantaneous_rmse, time_averaged_rmse
 from repro.experiments.common import RESOURCES, load_cluster_datasets
-from repro.simulation.collection import simulate_adaptive_collection
+from repro.simulation.collection import collect
 
 
 @dataclass
@@ -62,7 +62,7 @@ def run_table1(
     scalar: Dict[Tuple[str, str], float] = {}
     full: Dict[Tuple[str, str], float] = {}
     for name, dataset in datasets.items():
-        stored = simulate_adaptive_collection(
+        stored = collect(
             dataset.data, TransmissionConfig(budget=budget)
         ).stored  # (T, N, d)
         num_steps_actual = stored.shape[0]

@@ -23,7 +23,7 @@ from repro.core.config import TransmissionConfig
 from repro.experiments.common import load_cluster_datasets
 from repro.forecasting.arima import AutoArima
 from repro.forecasting.lstm import LstmForecaster
-from repro.simulation.collection import simulate_adaptive_collection
+from repro.simulation.collection import collect
 
 
 @dataclass
@@ -63,7 +63,7 @@ class Table2Result:
 def _centroid_series(
     trace: np.ndarray, num_clusters: int, budget: float, seed: int
 ) -> np.ndarray:
-    stored = simulate_adaptive_collection(
+    stored = collect(
         trace, TransmissionConfig(budget=budget)
     ).stored[:, :, 0]
     tracker = DynamicClusterTracker(num_clusters, seed=seed)

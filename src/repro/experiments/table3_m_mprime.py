@@ -21,7 +21,7 @@ from repro.experiments.common import (
     run_clustering,
     sample_hold_forecast_rmse,
 )
-from repro.simulation.collection import simulate_adaptive_collection
+from repro.simulation.collection import collect
 
 DEFAULT_M = (1, 5, 12)
 DEFAULT_M_PRIME = (1, 5, 12)
@@ -73,7 +73,7 @@ def run_table3(
     """Regenerate the Table III grid."""
     dataset = load_google_like(num_nodes=num_nodes, num_steps=num_steps)
     trace = dataset.resource("cpu")
-    stored = simulate_adaptive_collection(
+    stored = collect(
         trace, TransmissionConfig(budget=budget)
     ).stored[:, :, 0]
     rmse: Dict[Tuple[int, int, int], float] = {}

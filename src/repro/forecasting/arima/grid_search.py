@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, DataError, ReproError
 from repro.forecasting.arima.model import ArimaModel, ArimaOrder
+from repro.registry import register_forecaster
 
 logger = logging.getLogger(__name__)
 
@@ -183,3 +184,16 @@ class AutoArima:
 
     def forecast(self, horizon: int) -> np.ndarray:
         return self.model.forecast(horizon)
+
+
+@register_forecaster("arima")
+def _build_arima(config, cluster: int, group: int) -> AutoArima:
+    return AutoArima(
+        max_p=config.arima_max_p,
+        max_d=config.arima_max_d,
+        max_q=config.arima_max_q,
+        max_P=config.arima_max_P,
+        max_D=config.arima_max_D,
+        max_Q=config.arima_max_Q,
+        seasonal_period=config.arima_seasonal_period,
+    )

@@ -22,6 +22,7 @@ from scipy import optimize
 
 from repro.exceptions import ConfigurationError, DataError
 from repro.forecasting.base import Forecaster
+from repro.registry import register_forecaster
 
 
 class SimpleExponentialSmoothing(Forecaster):
@@ -245,3 +246,18 @@ class HoltWinters(Forecaster):
                 + self._seasonal[s_idx]
             )
         return out
+
+
+@register_forecaster("ses")
+def _build_ses(config, cluster: int, group: int) -> SimpleExponentialSmoothing:
+    return SimpleExponentialSmoothing()
+
+
+@register_forecaster("holt")
+def _build_holt(config, cluster: int, group: int) -> HoltLinear:
+    return HoltLinear()
+
+
+@register_forecaster("holt_winters")
+def _build_holt_winters(config, cluster: int, group: int) -> HoltWinters:
+    return HoltWinters(period=config.hw_period)

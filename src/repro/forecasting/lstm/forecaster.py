@@ -19,6 +19,7 @@ from repro.exceptions import ConfigurationError, DataError
 from repro.forecasting.base import Forecaster
 from repro.forecasting.lstm.network import StackedLSTMNetwork
 from repro.forecasting.lstm.optimizers import Adam, clip_gradients
+from repro.registry import register_forecaster
 
 
 def build_windows(
@@ -166,3 +167,17 @@ class LstmForecaster(Forecaster):
             window.append(float(prediction))
             outputs[h] = prediction
         return self._scaler.inverse(outputs)
+
+
+@register_forecaster("lstm")
+def _build_lstm(config, cluster: int, group: int) -> LstmForecaster:
+    seed = None
+    if config.seed is not None:
+        # Distinct but reproducible per (cluster, group).
+        seed = config.seed + 1009 * cluster + 9176 * group
+    return LstmForecaster(
+        hidden_dim=config.lstm_hidden,
+        lookback=config.lstm_lookback,
+        epochs=config.lstm_epochs,
+        seed=seed,
+    )

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.forecasting.base import Forecaster
+from repro.registry import register_forecaster
 
 
 class SampleHoldForecaster(Forecaster):
@@ -44,3 +45,13 @@ class MeanForecaster(Forecaster):
 
     def _forecast(self, horizon: int) -> np.ndarray:
         return np.full(horizon, self._mean)
+
+
+@register_forecaster("sample_hold")
+def _build_sample_hold(config, cluster: int, group: int) -> SampleHoldForecaster:
+    return SampleHoldForecaster()
+
+
+@register_forecaster("mean")
+def _build_mean(config, cluster: int, group: int) -> MeanForecaster:
+    return MeanForecaster()

@@ -17,6 +17,7 @@ from scipy.linalg import solve_toeplitz
 from repro.exceptions import ConfigurationError, DataError
 from repro.forecasting.base import Forecaster
 from repro.forecasting.stattools import acf
+from repro.registry import register_forecaster
 
 
 def fit_yule_walker(series: np.ndarray, order: int) -> np.ndarray:
@@ -93,3 +94,8 @@ class YuleWalkerAR(Forecaster):
             centered.pop(0)
             out[h] = value + self._mean
         return out
+
+
+@register_forecaster("ar")
+def _build_ar(config, cluster: int, group: int) -> YuleWalkerAR:
+    return YuleWalkerAR(order=config.ar_order)

@@ -1,0 +1,228 @@
+"""Named component registries: the pluggable-stage backbone.
+
+The paper's system is a composition of swappable stages — transmission
+policy, collection backend, dynamic-clustering similarity, per-cluster
+forecasting model.  Each stage family has one :class:`Registry` here;
+the concrete implementations self-register in the module that defines
+them, so adding a backend never means editing the engine:
+
+* :data:`FORECASTERS` — builders ``(config, cluster, group) ->
+  Forecaster`` keyed by ``ForecastingConfig.model`` names
+  (``"arima"``, ``"lstm"``, ``"sample_hold"``, …);
+* :data:`TRANSMISSION_POLICIES` — builders ``(transmission_config,
+  node_id) -> TransmissionPolicy`` (``"adaptive"``, ``"uniform"``,
+  ``"deadband"``);
+* :data:`COLLECTION_BACKENDS` — callables ``(trace,
+  transmission_config) -> CollectionResult`` (``"adaptive"``,
+  ``"uniform"``, ``"perfect"``, ``"deadband"``);
+* :data:`SIMILARITY_MEASURES` — :class:`~repro.clustering.similarity.
+  SimilarityMeasure` instances (``"intersection"``, ``"jaccard"``).
+
+Registries load lazily: the defining modules are imported on first
+lookup, so importing :mod:`repro.registry` itself is dependency-free and
+config validation can consult ``available()`` without import cycles.
+
+Registering a new component from user code::
+
+    from repro.registry import register_forecaster
+
+    @register_forecaster("theta")
+    def _build_theta(config, cluster, group):
+        return ThetaForecaster(period=config.hw_period)
+
+    ForecastingConfig(model="theta")   # now valid everywhere
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+from typing import Any, Callable, Dict, Iterator, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+def closest(name: str, candidates: Sequence[str]) -> str:
+    """A ``did you mean …?`` hint for an unknown name (may be empty)."""
+    matches = difflib.get_close_matches(str(name), list(candidates), n=3)
+    if not matches:
+        return ""
+    return " (did you mean " + " or ".join(repr(m) for m in matches) + "?)"
+
+
+class Registry:
+    """A case-sensitive name → component registry for one stage family.
+
+    Args:
+        kind: Human-readable component kind (``"forecaster"``), used in
+            error messages.
+        modules: Module paths imported lazily before the first lookup —
+            the modules whose import side effects populate the registry
+            (components self-register where they are defined).
+    """
+
+    def __init__(self, kind: str, *, modules: Sequence[str] = ()) -> None:
+        self.kind = kind
+        self._modules = tuple(modules)
+        self._loaded = False
+        self._loading = False
+        self._entries: Dict[str, Any] = {}
+
+    def _ensure_loaded(self) -> None:
+        if self._loaded or self._loading:
+            # _loading guards re-entrancy: the defining modules may
+            # themselves touch the registry (e.g. construct a config)
+            # while importing.
+            return
+        self._loading = True
+        try:
+            for module in self._modules:
+                importlib.import_module(module)
+        finally:
+            # On import failure the registry stays not-loaded, so the
+            # next lookup retries and surfaces the real ImportError
+            # instead of a misleading unknown-name error.
+            self._loading = False
+        self._loaded = True
+
+    def register(
+        self, name: str, obj: Any = None, *, override: bool = False
+    ) -> Callable[[Any], Any]:
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        Args:
+            name: Registry key (the user-facing component name).
+            obj: The component (builder/instance).  Omit to use the
+                returned callable as a decorator.
+            override: Allow replacing an existing entry.  Without it,
+                re-registering a *different* object under a taken name
+                raises (re-registering the same object is a no-op, so
+                module re-imports stay harmless).
+
+        Returns:
+            The registered object (decorator-friendly).
+        """
+        if not name or not isinstance(name, str):
+            raise ConfigurationError(
+                f"{self.kind} name must be a non-empty string, got {name!r}"
+            )
+
+        def _add(target: Any) -> Any:
+            current = self._entries.get(name)
+            if current is not None and current is not target and not override:
+                raise ConfigurationError(
+                    f"{self.kind} {name!r} is already registered; pass "
+                    f"override=True to replace it"
+                )
+            self._entries[name] = target
+            return target
+
+        if obj is None:
+            return _add
+        return _add(obj)
+
+    def get(self, name: str) -> Any:
+        """Look up a component, raising a friendly error when unknown."""
+        self._ensure_loaded()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError(self.unknown_message(name)) from None
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Look up a component and call it with the given arguments."""
+        return self.get(name)(*args, **kwargs)
+
+    def available(self) -> Tuple[str, ...]:
+        """All registered names, sorted."""
+        self._ensure_loaded()
+        return tuple(sorted(self._entries))
+
+    def unknown_message(self, name: str) -> str:
+        """The error text for an unknown name, with close-match hints."""
+        self._ensure_loaded()
+        return (
+            f"unknown {self.kind} {name!r}{closest(name, self._entries)}; "
+            f"available: {', '.join(self.available())}"
+        )
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_loaded()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.available())
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, entries={list(self._entries)})"
+
+
+#: ``ForecastingConfig.model`` name → builder ``(config, cluster, group)``.
+FORECASTERS = Registry("forecaster", modules=("repro.forecasting",))
+
+#: Policy name → builder ``(transmission_config, node_id)``.
+TRANSMISSION_POLICIES = Registry(
+    "transmission policy", modules=("repro.transmission",)
+)
+
+#: Collection backend name → ``(trace, transmission_config) -> CollectionResult``.
+COLLECTION_BACKENDS = Registry(
+    "collection backend",
+    modules=("repro.simulation.collection", "repro.transmission.deadband"),
+)
+
+#: Similarity name → :class:`~repro.clustering.similarity.SimilarityMeasure`.
+SIMILARITY_MEASURES = Registry(
+    "similarity measure", modules=("repro.clustering.similarity",)
+)
+
+
+def register_forecaster(name: str, *, override: bool = False):
+    """Decorator registering a forecaster builder.
+
+    The builder receives ``(config, cluster, group)`` — the full
+    :class:`~repro.core.config.ForecastingConfig`, the cluster id and
+    the resource-group index — and returns a fresh, unfitted forecaster.
+    """
+    return FORECASTERS.register(name, override=override)
+
+
+def register_transmission_policy(name: str, *, override: bool = False):
+    """Decorator registering a per-node transmission-policy builder.
+
+    The builder receives ``(transmission_config, node_id)`` and returns
+    a fresh :class:`~repro.transmission.base.TransmissionPolicy`.
+    """
+    return TRANSMISSION_POLICIES.register(name, override=override)
+
+
+def register_collection_backend(name: str, *, override: bool = False):
+    """Decorator registering a whole-trace collection backend.
+
+    The backend receives ``(trace, transmission_config)`` and returns a
+    :class:`~repro.simulation.collection.CollectionResult`.
+    """
+    return COLLECTION_BACKENDS.register(name, override=override)
+
+
+def register_similarity(name: str, *, override: bool = False):
+    """Decorator registering a cluster-similarity measure."""
+    return SIMILARITY_MEASURES.register(name, override=override)
+
+
+__all__ = [
+    "Registry",
+    "closest",
+    "FORECASTERS",
+    "TRANSMISSION_POLICIES",
+    "COLLECTION_BACKENDS",
+    "SIMILARITY_MEASURES",
+    "register_forecaster",
+    "register_transmission_policy",
+    "register_collection_backend",
+    "register_similarity",
+]

@@ -3,6 +3,7 @@
 from repro.simulation.collection import (
     CollectionResult,
     CollectionSimulation,
+    collect,
     simulate_adaptive_collection,
     simulate_uniform_collection,
 )
@@ -23,6 +24,7 @@ def __getattr__(name):
 __all__ = [
     "CollectionResult",
     "CollectionSimulation",
+    "collect",
     "simulate_adaptive_collection",
     "simulate_uniform_collection",
     "CentralStore",

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.config import TransmissionConfig
 from repro.core.types import Measurement, validate_trace
 from repro.exceptions import ConfigurationError
+from repro.registry import COLLECTION_BACKENDS, register_collection_backend
 from repro.simulation.controller import CentralStore
 from repro.simulation.node import LocalNode
 from repro.simulation.transport import Channel, TransportStats
@@ -326,3 +327,56 @@ def simulate_uniform_collection(
         data, np.full(num_nodes, budget), phases
     )
     return CollectionResult(stored=stored, decisions=decisions)
+
+
+# ----------------------------------------------------------------------
+# Registry-driven backend dispatch
+# ----------------------------------------------------------------------
+
+
+@register_collection_backend("adaptive")
+def _collect_adaptive(
+    trace: np.ndarray, config: TransmissionConfig
+) -> CollectionResult:
+    return simulate_adaptive_collection(trace, config)
+
+
+@register_collection_backend("uniform")
+def _collect_uniform(
+    trace: np.ndarray, config: TransmissionConfig
+) -> CollectionResult:
+    return simulate_uniform_collection(trace, config.budget)
+
+
+@register_collection_backend("perfect")
+def _collect_perfect(
+    trace: np.ndarray, config: TransmissionConfig
+) -> CollectionResult:
+    # No staleness: every node transmits every slot (B = 1).
+    data = validate_trace(trace)
+    return CollectionResult(
+        stored=data.copy(),
+        decisions=np.ones(data.shape[:2], dtype=int),
+    )
+
+
+def collect(
+    trace: np.ndarray,
+    config: TransmissionConfig = TransmissionConfig(),
+    *,
+    backend: str = "adaptive",
+) -> CollectionResult:
+    """Run a named collection backend over a recorded trace.
+
+    Args:
+        trace: True measurements, shape ``(T, N)`` or ``(T, N, d)``.
+        config: Transmission parameters consumed by the backend
+            (``adaptive`` uses all of them, ``uniform`` the budget,
+            ``deadband`` the deadband width, ``perfect`` none).
+        backend: A name registered in
+            :data:`repro.registry.COLLECTION_BACKENDS`.
+
+    Returns:
+        The backend's :class:`CollectionResult`.
+    """
+    return COLLECTION_BACKENDS.create(backend, trace, config)

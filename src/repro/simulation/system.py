@@ -1,34 +1,38 @@
-"""Deployable monitoring system: nodes + transport + controller + pipeline.
+"""Deprecated streaming facade: a thin shim over :class:`repro.api.Engine`.
 
-:class:`MonitoringSystem` is the facade a downstream user would actually
-run: it owns one :class:`~repro.simulation.node.LocalNode` per machine
-(each with its own adaptive transmission policy), the transport channel
-with message accounting, the central store applying the staleness rule,
-and the :class:`~repro.core.pipeline.OnlinePipeline` doing clustering
-and forecasting — all advanced together by one :meth:`tick` per time
-slot.  Unlike :func:`~repro.core.pipeline.run_pipeline` (which is
-optimized for batch experiments over recorded traces), this class is
-strictly incremental and suitable for wiring to a live metric feed.
+:class:`MonitoringSystem` predates the unified engine.  It is kept as a
+compatibility wrapper — construction, :meth:`~MonitoringSystem.tick`
+semantics and every exposed attribute delegate to an
+:class:`~repro.api.Engine` in streaming mode, and equivalence tests pin
+``tick`` bit-identical to :meth:`Engine.step <repro.api.Engine.step>`.
+New code should build the engine directly::
+
+    from repro.api import Engine
+
+    engine = Engine(config, num_nodes=50, num_resources=1)
+    output = engine.step(x_t)
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import warnings
+from typing import Optional
 
 import numpy as np
 
+from repro.api import Engine, PolicyFactory
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import ForecasterFactory, OnlinePipeline, StepOutput
-from repro.exceptions import ConfigurationError, DataError
 from repro.simulation.controller import CentralStore
-from repro.simulation.node import LocalNode
 from repro.simulation.transport import Channel, TransportStats
-from repro.transmission.adaptive import AdaptiveTransmissionPolicy
-from repro.transmission.base import TransmissionPolicy
 
 
 class MonitoringSystem:
     """A complete online monitoring-and-forecasting deployment.
+
+    .. deprecated::
+        Use :class:`repro.api.Engine` in streaming mode; this class is a
+        compatibility shim over it.
 
     Args:
         num_nodes: Number of machines.
@@ -47,49 +51,60 @@ class MonitoringSystem:
         num_resources: int,
         config: PipelineConfig = PipelineConfig(),
         *,
-        policy_factory: Optional[Callable[[int], TransmissionPolicy]] = None,
+        policy_factory: Optional[PolicyFactory] = None,
         forecaster_factory: Optional[ForecasterFactory] = None,
     ) -> None:
-        if num_nodes < 1 or num_resources < 1:
-            raise ConfigurationError(
-                "num_nodes and num_resources must be >= 1"
-            )
+        warnings.warn(
+            "MonitoringSystem is deprecated; use repro.api.Engine("
+            "config, num_nodes=..., num_resources=...) and engine.step",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.config = config
-        if policy_factory is None:
-            def policy_factory(_node_id: int) -> TransmissionPolicy:
-                return AdaptiveTransmissionPolicy(config.transmission)
-        self.nodes = [
-            LocalNode(i, policy_factory(i)) for i in range(num_nodes)
-        ]
-        self.channel = Channel()
-        self.store = CentralStore(num_nodes, num_resources)
-        self.pipeline = OnlinePipeline(
-            num_nodes,
-            num_resources,
+        self.engine = Engine(
             config,
+            num_nodes=num_nodes,
+            num_resources=num_resources,
+            policy_factory=policy_factory,
             forecaster_factory=forecaster_factory,
         )
-        self._time = 0
+
+    @property
+    def nodes(self) -> list:
+        """The engine's per-node :class:`LocalNode` objects."""
+        return self.engine.nodes
+
+    @property
+    def channel(self) -> Channel:
+        return self.engine.channel
+
+    @property
+    def store(self) -> CentralStore:
+        return self.engine.store
+
+    @property
+    def pipeline(self) -> OnlinePipeline:
+        return self.engine.pipeline
 
     @property
     def time(self) -> int:
         """Number of slots processed."""
-        return self._time
+        return self.engine.time
 
     @property
     def transport_stats(self) -> TransportStats:
         """Cumulative message/byte counters."""
-        return self.channel.stats
+        return self.engine.transport_stats
 
     @property
     def empirical_frequency(self) -> float:
         """Fleet-average transmission frequency so far."""
-        if self._time == 0:
-            return 0.0
-        return self.channel.stats.messages / (self._time * len(self.nodes))
+        return self.engine.empirical_frequency
 
     def tick(self, measurements: np.ndarray) -> StepOutput:
         """Advance the whole system by one time slot.
+
+        Delegates to :meth:`repro.api.Engine.step`.
 
         Args:
             measurements: Fresh true measurements ``x_t``, shape
@@ -100,22 +115,7 @@ class MonitoringSystem:
             assignments; forecasts once the initial collection phase has
             passed).
         """
-        x = np.asarray(measurements, dtype=float)
-        if x.ndim == 1:
-            x = x[:, np.newaxis]
-        if x.shape != (len(self.nodes), self.store.dimension):
-            raise DataError(
-                f"measurements must be ({len(self.nodes)}, "
-                f"{self.store.dimension}), got {x.shape}"
-            )
-        for node in self.nodes:
-            message = node.observe(x[node.node_id])
-            if message is not None:
-                self.channel.send(message)
-        self.store.apply(self.channel.drain(), now=self._time)
-        output = self.pipeline.step(self.store.values)
-        self._time += 1
-        return output
+        return self.engine.step(measurements)
 
     def forecast_report(self, output: StepOutput, horizon: int) -> str:
         """Human-readable summary of one slot's forecast.

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.config import TransmissionConfig
 from repro.exceptions import DataError
+from repro.registry import register_transmission_policy
 from repro.transmission.base import TransmissionPolicy
 
 
@@ -120,3 +121,8 @@ class AdaptiveTransmissionPolicy(TransmissionPolicy):
         self._queue = 0.0
         self._time = 0
         self._queue_history.clear()
+
+
+@register_transmission_policy("adaptive")
+def _build_adaptive(config: TransmissionConfig, node_id: int) -> AdaptiveTransmissionPolicy:
+    return AdaptiveTransmissionPolicy(config)

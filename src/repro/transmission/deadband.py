@@ -15,6 +15,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError, DataError
+from repro.registry import (
+    register_collection_backend,
+    register_transmission_policy,
+)
 from repro.transmission.base import TransmissionPolicy
 
 
@@ -75,3 +79,13 @@ def simulate_deadband_collection(trace: np.ndarray, delta: float):
         decisions[t] = transmit
         stored[t] = stored_now
     return CollectionResult(stored=stored, decisions=decisions)
+
+
+@register_transmission_policy("deadband")
+def _build_deadband(config, node_id: int) -> DeadbandTransmissionPolicy:
+    return DeadbandTransmissionPolicy(config.deadband_delta)
+
+
+@register_collection_backend("deadband")
+def _collect_deadband(trace: np.ndarray, config):
+    return simulate_deadband_collection(trace, config.deadband_delta)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.registry import register_transmission_policy
 from repro.transmission.base import TransmissionPolicy
 
 
@@ -61,3 +62,10 @@ class UniformTransmissionPolicy(TransmissionPolicy):
     def reset(self) -> None:
         super().reset()
         self._accumulator = self.phase
+
+
+@register_transmission_policy("uniform")
+def _build_uniform(config, node_id: int) -> UniformTransmissionPolicy:
+    # Phase 0 for determinism; pass a custom policy_factory to stagger
+    # a fleet (e.g. ``phase=node_id / num_nodes``).
+    return UniformTransmissionPolicy(config.budget)

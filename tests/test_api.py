@@ -1,0 +1,279 @@
+"""Tests for the unified Engine API (repro.api) and config round-trips.
+
+The deprecated entry points (`run_pipeline`, `MonitoringSystem`) are
+pinned bit-identical to `Engine.run` / `Engine.step` here.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import Engine, RunResult
+from repro.core.config import (
+    ClusteringConfig,
+    ForecastingConfig,
+    PipelineConfig,
+    TransmissionConfig,
+)
+from repro.core.pipeline import PipelineResult, run_pipeline
+from repro.exceptions import ConfigurationError, DataError
+from repro.simulation.system import MonitoringSystem
+
+
+def config(budget=0.3, initial=20, horizon=2, clusters=2):
+    return PipelineConfig(
+        transmission=TransmissionConfig(budget=budget),
+        clustering=ClusteringConfig(num_clusters=clusters, seed=0),
+        forecasting=ForecastingConfig(
+            model="sample_hold",
+            max_horizon=horizon,
+            initial_collection=initial,
+            retrain_interval=initial,
+        ),
+    )
+
+
+def walk_trace(steps=60, nodes=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.clip(
+        0.5 + np.cumsum(rng.normal(0, 0.03, (steps, nodes)), axis=0), 0, 1
+    )
+
+
+class TestEngineBatchEquivalence:
+    """Engine.run reproduces the deprecated run_pipeline bit-identically."""
+
+    @pytest.mark.parametrize(
+        "collection", ["adaptive", "uniform", "perfect"]
+    )
+    def test_run_matches_run_pipeline(self, collection):
+        trace = walk_trace(seed=7)
+        cfg = config()
+        with pytest.deprecated_call():
+            old = run_pipeline(trace, cfg, collection=collection)
+        new = Engine(cfg, collection=collection).run(trace)
+        assert old.rmse_by_horizon == new.rmse_by_horizon
+        assert old.intermediate_rmse == new.intermediate_rmse
+        assert old.forecast_start == new.forecast_start
+        np.testing.assert_array_equal(old.stored, new.stored)
+        np.testing.assert_array_equal(old.decisions, new.decisions)
+
+    def test_run_pipeline_returns_runresult(self):
+        trace = walk_trace(steps=30)
+        with pytest.deprecated_call():
+            result = run_pipeline(trace, config())
+        assert isinstance(result, RunResult)
+        assert isinstance(result, PipelineResult)
+
+    def test_run_with_horizons_subset(self):
+        trace = walk_trace(seed=1)
+        cfg = config(horizon=3)
+        result = Engine(cfg).run(trace, horizons=[0, 2])
+        assert set(result.rmse_by_horizon) == {0, 2}
+
+    def test_run_horizon_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Engine(config(horizon=2)).run(walk_trace(), horizons=[5])
+
+    def test_perfect_collection_zero_staleness(self):
+        result = Engine(config(), collection="perfect").run(walk_trace())
+        assert result.rmse_by_horizon[0] == 0.0
+
+    def test_unknown_collection_fails_fast_with_suggestion(self):
+        with pytest.raises(ConfigurationError, match="adaptive"):
+            Engine(config(), collection="adaptve")
+
+    def test_runs_are_independent(self):
+        engine = Engine(config())
+        trace = walk_trace(seed=2)
+        a = engine.run(trace)
+        b = engine.run(trace)
+        assert a.rmse_by_horizon == b.rmse_by_horizon
+
+
+class TestRunResult:
+    def test_carries_provenance(self):
+        cfg = config()
+        result = Engine(cfg, collection="uniform").run(walk_trace())
+        assert result.config is cfg
+        assert result.collection == "uniform"
+        assert result.transport is None  # vectorized backend
+
+    def test_timings_cover_all_stages(self):
+        result = Engine(config()).run(walk_trace())
+        for stage in (
+            "collection", "clustering", "training", "forecasting",
+            "metrics", "total",
+        ):
+            assert stage in result.timings
+            assert result.timings[stage] >= 0.0
+        assert result.timings["total"] >= result.timings["collection"]
+
+    def test_summary_is_printable(self):
+        result = Engine(config()).run(walk_trace())
+        text = result.summary()
+        assert "RMSE" in text
+        assert "timings" in text
+
+
+class TestEngineStreamingEquivalence:
+    """Engine.step reproduces the deprecated MonitoringSystem.tick."""
+
+    def test_step_matches_tick(self):
+        trace = walk_trace(seed=3)
+        cfg = config(initial=15)
+        with pytest.deprecated_call():
+            system = MonitoringSystem(6, 1, cfg)
+        engine = Engine(cfg, num_nodes=6, num_resources=1)
+        for t in range(60):
+            old = system.tick(trace[t])
+            new = engine.step(trace[t])
+            np.testing.assert_array_equal(old.stored, new.stored)
+            if old.node_forecasts is None:
+                assert new.node_forecasts is None
+            else:
+                for h in old.node_forecasts:
+                    np.testing.assert_array_equal(
+                        old.node_forecasts[h], new.node_forecasts[h]
+                    )
+        assert system.transport_stats.messages == (
+            engine.transport_stats.messages
+        )
+        assert system.empirical_frequency == engine.empirical_frequency
+
+    def test_monitoring_system_delegates_to_engine(self):
+        with pytest.deprecated_call():
+            system = MonitoringSystem(4, 1, config())
+        assert system.pipeline is system.engine.pipeline
+        assert system.store is system.engine.store
+        assert len(system.nodes) == 4
+
+    def test_dimensions_inferred_from_first_step(self):
+        engine = Engine(config())
+        assert engine.pipeline is None
+        engine.step(np.zeros(5))
+        assert len(engine.nodes) == 5
+        assert engine.store.dimension == 1
+        assert engine.time == 1
+
+    def test_wrong_shape_rejected(self):
+        engine = Engine(config(), num_nodes=4, num_resources=1)
+        with pytest.raises(DataError):
+            engine.step(np.zeros(3))
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Engine(config(), num_nodes=0, num_resources=1)
+        with pytest.raises(ConfigurationError):
+            Engine(config(), num_nodes=4)  # one of the pair missing
+
+    def test_streaming_policy_by_name(self):
+        from repro.transmission.uniform import UniformTransmissionPolicy
+
+        engine = Engine(
+            config(), policy="uniform", num_nodes=3, num_resources=1
+        )
+        assert all(
+            isinstance(node.policy, UniformTransmissionPolicy)
+            for node in engine.nodes
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="transmission policy"):
+            Engine(config(), policy="morse")
+
+
+class TestConfigRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        cfg = PipelineConfig.small(num_clusters=4, budget=0.2)
+        assert PipelineConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_json_round_trip(self):
+        cfg = PipelineConfig(
+            forecasting=ForecastingConfig(model="ar", seed=3),
+        )
+        payload = json.dumps(cfg.to_dict())
+        assert PipelineConfig.from_dict(json.loads(payload)) == cfg
+
+    def test_missing_sections_use_defaults(self):
+        cfg = PipelineConfig.from_dict({"transmission": {"budget": 0.5}})
+        assert cfg.transmission.budget == 0.5
+        assert cfg.clustering == ClusteringConfig()
+        assert cfg.forecasting == ForecastingConfig()
+
+    def test_unknown_section_rejected_with_suggestion(self):
+        with pytest.raises(ConfigurationError, match="forecasting"):
+            PipelineConfig.from_dict({"forecastng": {}})
+
+    def test_unknown_option_rejected_with_suggestion(self):
+        with pytest.raises(ConfigurationError, match="budget"):
+            PipelineConfig.from_dict({"transmission": {"budgett": 0.1}})
+
+    def test_invalid_values_still_validated(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig.from_dict({"transmission": {"budget": 2.0}})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig.from_dict([1, 2, 3])
+        with pytest.raises(ConfigurationError):
+            PipelineConfig.from_dict({"transmission": 7})
+
+
+class TestEngineFromConfig:
+    def test_from_pipeline_config(self):
+        cfg = config()
+        assert Engine.from_config(cfg).config is cfg
+
+    def test_from_mapping(self):
+        engine = Engine.from_config(
+            {"forecasting": {"model": "ses"}}, collection="perfect"
+        )
+        assert engine.config.forecasting.model == "ses"
+        assert engine.collection == "perfect"
+
+    def test_from_json_file(self, tmp_path):
+        cfg = PipelineConfig.small(initial_collection=25, retrain_interval=25)
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(cfg.to_dict()))
+        engine = Engine.from_config(path)
+        assert engine.config == cfg
+        result = engine.run(walk_trace(steps=40, nodes=5))
+        assert 0 in result.rmse_by_horizon
+
+    def test_bad_config_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Engine(42)
+
+
+class TestPipelineGroups:
+    def test_groups_scalar_clustering(self):
+        from repro.core.pipeline import OnlinePipeline
+
+        pipeline = OnlinePipeline(5, 3, config())
+        assert pipeline.groups == ((0,), (1,), (2,))
+
+    def test_groups_joint_clustering(self):
+        from repro.core.pipeline import OnlinePipeline
+
+        cfg = PipelineConfig(
+            clustering=ClusteringConfig(
+                num_clusters=2, scalar_per_resource=False, seed=0
+            ),
+            forecasting=ForecastingConfig(
+                model="sample_hold", initial_collection=10,
+                retrain_interval=10,
+            ),
+        )
+        pipeline = OnlinePipeline(5, 3, cfg)
+        assert pipeline.groups == ((0, 1, 2),)
+
+    def test_groups_is_read_only_copy(self):
+        from repro.core.pipeline import OnlinePipeline
+
+        pipeline = OnlinePipeline(5, 2, config())
+        groups = pipeline.groups
+        assert isinstance(groups, tuple)
+        # Mutating the returned value cannot corrupt pipeline state.
+        assert pipeline.groups == ((0,), (1,))

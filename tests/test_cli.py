@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.core.config import PipelineConfig
 
 
 class TestCli:
@@ -12,6 +15,15 @@ class TestCli:
         assert "fig3" in out
         assert "table2" in out
         assert "ablation_reindexing" in out
+
+    def test_list_shows_components(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "forecasters" in out
+        assert "sample_hold" in out
+        assert "collection backends" in out
+        assert "perfect" in out
+        assert "similarity measures" in out
 
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 1
@@ -34,6 +46,41 @@ class TestCli:
         # should drop the inapplicable override instead of crashing.
         code = main(["run", "fig12", "--nodes", "30", "--steps", "100"])
         assert code == 0
+
+    def test_run_nothing_given(self, capsys):
+        assert main(["run"]) == 2
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_run_config_file(self, capsys, tmp_path):
+        config = PipelineConfig.small(
+            initial_collection=30, retrain_interval=30, max_horizon=2
+        )
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(config.to_dict()))
+        code = main([
+            "run", "--config", str(path), "--nodes", "8", "--steps", "90",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RMSE(h=0)" in out
+        assert "timings" in out
+        assert "model=sample_hold" in out
+
+    def test_run_config_missing_file(self, capsys, tmp_path):
+        assert main(["run", "--config", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_run_config_invalid_contents(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"forecasting": {"model": "nope"}}))
+        assert main(["run", "--config", str(path)]) == 2
+        assert "invalid configuration" in capsys.readouterr().err
+
+    def test_run_config_and_experiments_exclusive(self, capsys, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(PipelineConfig().to_dict()))
+        assert main(["run", "fig3", "--config", str(path)]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
 
     def test_demo(self, capsys):
         code = main(

@@ -18,21 +18,27 @@ EXAMPLES = os.path.join(REPO_ROOT, "examples")
 class TestReadmeSnippet:
     def test_quickstart_snippet_runs(self):
         # The exact code block from README.md §Quickstart, at tiny scale.
-        from repro import PipelineConfig, run_pipeline
+        from repro import Engine, PipelineConfig
         from repro.datasets import load_alibaba_like
 
         dataset = load_alibaba_like(num_nodes=12, num_steps=120)
-        result = run_pipeline(
-            dataset.resource("cpu"),
-            PipelineConfig.small(
-                num_clusters=3, budget=0.3, max_horizon=2,
-                initial_collection=40, retrain_interval=40,
-            ),
-        )
+        engine = Engine(PipelineConfig.small(
+            num_clusters=3, budget=0.3, max_horizon=2,
+            initial_collection=40, retrain_interval=40,
+        ))
+        result = engine.run(dataset.resource("cpu"))
         assert 0 in result.rmse_by_horizon
         assert 1 in result.rmse_by_horizon
         assert 0 <= result.intermediate_rmse < 1
         assert 0 < result.decisions.mean() <= 1
+        assert result.timings["total"] > 0
+
+    def test_readme_migration_table_mentions_old_entry_points(self):
+        with open(os.path.join(REPO_ROOT, "README.md")) as handle:
+            text = handle.read()
+        for name in ("run_pipeline", "MonitoringSystem", "Engine",
+                     "from_config", "registry"):
+            assert name in text, name
 
 
 class TestExamples:
