@@ -262,6 +262,22 @@ ENTRIES = [
         "less clustering wall-clock.",
     ),
     (
+        "fleet_scale",
+        "Scaling — columnar FleetState vs object-per-node (extension)",
+        "(Not in the paper; realizes its 'large-scale distributed "
+        "systems' premise.) The collection stage should scale to "
+        "hundred-thousand-node fleets when per-node Python objects are "
+        "replaced by one structure-of-arrays fleet state, and "
+        "partitioning the fleet into contiguous node shards must not "
+        "change a single bit of the result.",
+        "Confirmed: the columnar path is two orders of magnitude "
+        "faster than the object-per-node loop (hundreds of times at "
+        "N = 1k–10k, far above the 5x acceptance bar) and handles "
+        "N = 100k in fractions of a second where the object loop "
+        "would take minutes; the 4-way sharded run is asserted "
+        "bit-identical to single-shard at every N.",
+    ),
+    (
         "ablation_deadband",
         "Ablation — deadband (send-on-delta) vs Lyapunov (extension)",
         "(Validates Sec. II's argument.) Threshold-based adaptive "

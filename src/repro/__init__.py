@@ -57,11 +57,13 @@ from repro.registry import (
     TRANSMISSION_POLICIES,
     Registry,
 )
+from repro.simulation.fleet import FleetState
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Engine",
+    "FleetState",
     "RunResult",
     "ClusteringConfig",
     "ForecastingConfig",

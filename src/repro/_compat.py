@@ -1,0 +1,28 @@
+"""Deprecation plumbing for the historical entry points.
+
+The deprecated shims (:func:`repro.core.pipeline.run_pipeline`,
+:class:`repro.simulation.system.MonitoringSystem`) warn exactly once per
+process — enough to be seen, quiet enough that a driver looping over an
+old entry point is not flooded.  Everything else in the library is
+warning-free, so users can run under ``-W error::DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+_WARNED: Set[str] = set()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` on the first call only."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which deprecations already warned (test isolation hook)."""
+    _WARNED.clear()

@@ -9,7 +9,11 @@ two historical entry points:
   collection, clustering and forecasting and returns a
   :class:`RunResult` with the paper's RMSE metrics, transport stats and
   per-stage wall-clock timings (what :func:`repro.core.pipeline.
-  run_pipeline` did);
+  run_pipeline` did).  ``run(trace, shards=K, workers=W)`` additionally
+  partitions the fleet into contiguous node shards for the collection
+  stage (optionally across a process pool) and merges them into one
+  columnar :class:`~repro.simulation.fleet.FleetState` — bit-identical
+  to the single-shard run;
 * **streaming** — :meth:`Engine.step` advances a live deployment by one
   slot: per-node transmission policies, the transport channel, the
   central store's staleness rule, then clustering + forecasting (what
@@ -33,15 +37,18 @@ files all share one wiring path::
 
 from __future__ import annotations
 
+import inspect
 import json
+import operator
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.config import PipelineConfig
+from repro.core.config import PipelineConfig, TransmissionConfig
 from repro.core.metrics import instantaneous_rmse_batch
 from repro.core.pipeline import (
     ForecasterFactory,
@@ -52,7 +59,13 @@ from repro.core.pipeline import (
 from repro.core.types import validate_trace
 from repro.exceptions import ConfigurationError, DataError
 from repro.registry import COLLECTION_BACKENDS, TRANSMISSION_POLICIES
+from repro.simulation.collection import CollectionResult
 from repro.simulation.controller import CentralStore
+from repro.simulation.fleet import (
+    FleetState,
+    merge_collection_shards,
+    shard_slices,
+)
 from repro.simulation.node import LocalNode
 from repro.simulation.transport import Channel, TransportStats
 from repro.transmission.base import TransmissionPolicy
@@ -61,25 +74,70 @@ from repro.transmission.base import TransmissionPolicy
 PolicyFactory = Callable[[int], TransmissionPolicy]
 
 
+def _shard_aware_kwargs(backend, node_offset: int, total_nodes: int) -> dict:
+    """Offset/fleet-size kwargs for backends that opt into them.
+
+    Backends whose decisions depend on fleet-global state (the uniform
+    backend draws stagger phases for the whole fleet) declare
+    ``node_offset``/``total_nodes`` keyword parameters; purely per-node
+    backends need nothing and get nothing.
+    """
+    try:
+        params = inspect.signature(backend).parameters
+    except (TypeError, ValueError):  # builtins / odd callables
+        return {}
+    if "node_offset" in params and "total_nodes" in params:
+        return {"node_offset": node_offset, "total_nodes": total_nodes}
+    return {}
+
+
+def _run_collection_shard(
+    backend_name: str,
+    trace: np.ndarray,
+    transmission: TransmissionConfig,
+    node_offset: int,
+    total_nodes: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run one collection shard — a contiguous node slice of the trace.
+
+    Module-level (hence picklable) so it can run in a worker process;
+    returns plain arrays to keep the inter-process payload minimal.
+    """
+    backend = COLLECTION_BACKENDS.get(backend_name)
+    result = backend(
+        trace,
+        transmission,
+        **_shard_aware_kwargs(backend, node_offset, total_nodes),
+    )
+    return result.stored, result.decisions
+
+
 @dataclass
 class RunResult(PipelineResult):
     """A :class:`~repro.core.pipeline.PipelineResult` plus provenance.
 
     Attributes (beyond the inherited metrics):
-        transport: Message/byte counters when the collection backend
-            produced them (object-level engines); None for the
-            vectorized backends.
+        transport: Message/byte counters — the backend's own accounting
+            when it produces one, otherwise derived from the decision
+            matrix over the fleet's counter column (so batch runs always
+            carry transport provenance).
         timings: Wall-clock seconds per stage: ``collection``,
             ``clustering``, ``training``, ``forecasting``, ``metrics``
             and ``total``.
         config: The resolved configuration the run used.
         collection: The collection-backend name the run used.
+        fleet: Columnar :class:`~repro.simulation.fleet.FleetState`
+            snapshot after the last slot — final stored values, clocks,
+            last-transmit slots and per-node message counters.
+        shards: How many node shards the collection stage ran as.
     """
 
     transport: Optional[TransportStats]
     timings: Dict[str, float]
     config: PipelineConfig
     collection: str
+    fleet: Optional[FleetState] = None
+    shards: int = 1
 
     def summary(self) -> str:
         """Human-readable run summary (CLI/report friendly)."""
@@ -149,7 +207,9 @@ class Engine:
         self._policy_factory: PolicyFactory = policy_factory
         self._forecaster_factory = forecaster_factory
 
-        # Streaming state (one live deployment per engine).
+        # Streaming state (one live deployment per engine), all views
+        # over one columnar FleetState.
+        self.fleet: Optional[FleetState] = None
         self.nodes: List[LocalNode] = []
         self.channel: Optional[Channel] = None
         self.store: Optional[CentralStore] = None
@@ -200,11 +260,13 @@ class Engine:
             raise ConfigurationError(
                 "num_nodes and num_resources must be >= 1"
             )
+        self.fleet = FleetState(num_nodes, num_resources)
+        self.channel = Channel(node_counts=self.fleet.message_counts)
+        self.store = CentralStore(fleet=self.fleet)
         self.nodes = [
-            LocalNode(i, self._policy_factory(i)) for i in range(num_nodes)
+            self.fleet.node_view(i, self._policy_factory(i))
+            for i in range(num_nodes)
         ]
-        self.channel = Channel()
-        self.store = CentralStore(num_nodes, num_resources)
         self.pipeline = OnlinePipeline(
             num_nodes,
             num_resources,
@@ -274,11 +336,68 @@ class Engine:
     # Batch mode
     # ------------------------------------------------------------------
 
+    def _collect_sharded(
+        self, data: np.ndarray, shards: int, workers: Optional[int]
+    ) -> Tuple[CollectionResult, FleetState]:
+        """Run the collection stage over ``shards`` contiguous node
+        ranges and merge into global arrays plus a fleet snapshot.
+
+        Every registered backend's recurrence is independent per node
+        column (fleet-global state like the uniform stagger phases is
+        handled via the shard-aware kwargs), so the merged ``stored``
+        and ``decisions`` are bit-identical to a single-shard run —
+        clustering and forecasting downstream see exactly the same
+        ``z_t`` matrix.
+        """
+        num_steps, num_nodes, dim = data.shape
+        if shards == 1:
+            collected = COLLECTION_BACKENDS.create(
+                self.collection, data, self.config.transmission
+            )
+            fleet = FleetState.from_run(collected.stored, collected.decisions)
+            # Engine-level transport provenance is always derived from
+            # the decisions over the fleet's counter column — the same
+            # reduction the sharded path performs, so RunResult.transport
+            # is identical whatever the shard count (a backend's own
+            # accounting, if any, stays visible on direct backend calls).
+            collected.stats = TransportStats.from_node_counts(
+                fleet.message_counts, dim
+            )
+            return collected, fleet
+        tasks = [
+            (self.collection, data[:, lo:hi], self.config.transmission,
+             lo, num_nodes)
+            for lo, hi in shard_slices(num_nodes, shards)
+        ]
+        if workers is not None:
+            # Any explicit worker count uses a real process pool (a
+            # 1-worker pool still exercises pickling end to end);
+            # workers=None is the in-process path.
+            with ProcessPoolExecutor(
+                max_workers=min(workers, shards)
+            ) as pool:
+                parts = list(
+                    pool.map(_run_collection_shard, *zip(*tasks))
+                )
+        else:
+            parts = [_run_collection_shard(*task) for task in tasks]
+        stored, decisions = merge_collection_shards(parts)
+        fleet = FleetState.from_run(stored, decisions)
+        # Transport-stats reduction over the fleet's own counter column
+        # (shared array, not a copy).
+        stats = TransportStats.from_node_counts(fleet.message_counts, dim)
+        return (
+            CollectionResult(stored=stored, decisions=decisions, stats=stats),
+            fleet,
+        )
+
     def run(
         self,
         trace: np.ndarray,
         *,
         horizons: Optional[Sequence[int]] = None,
+        shards: int = 1,
+        workers: Optional[int] = None,
     ) -> RunResult:
         """Run collection + clustering + forecasting over a full trace.
 
@@ -290,20 +409,55 @@ class Engine:
             trace: True measurements, shape ``(T, N)`` or ``(T, N, d)``.
             horizons: Horizons to evaluate; default ``0..max_horizon``
                 (``h = 0`` is the pure collection error).
+            shards: Partition the fleet into this many contiguous node
+                shards for the collection stage.  Results are
+                bit-identical to ``shards=1`` for every registered
+                backend (including :attr:`RunResult.transport`, merged
+                by the shard reduction).
+            workers: Run the shards in a process pool of this size —
+                any explicit value, including 1, creates a real pool
+                (default ``None``: in-process, one shard after another —
+                the right choice below roughly 100k nodes, where
+                process startup dominates).  Requires ``shards > 1``.
 
         Returns:
             The :class:`RunResult` with RMSE per horizon, transport
-            stats and per-stage timings.
+            stats, per-stage timings and the final fleet snapshot.
         """
         run_started = time.perf_counter()
         data = validate_trace(trace)
         num_steps, num_nodes, num_resources = data.shape
         config = self.config
+        try:
+            shards = int(operator.index(shards))
+        except TypeError:
+            raise ConfigurationError(
+                f"shards must be an integer, got {shards!r}"
+            ) from None
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if shards > num_nodes:
+            raise ConfigurationError(
+                f"cannot split {num_nodes} nodes into {shards} shards"
+            )
+        if workers is not None:
+            try:
+                workers = int(operator.index(workers))
+            except TypeError:
+                raise ConfigurationError(
+                    f"workers must be an integer, got {workers!r}"
+                ) from None
+            if workers < 1:
+                raise ConfigurationError(
+                    f"workers must be >= 1, got {workers}"
+                )
+        if workers is not None and shards == 1:
+            raise ConfigurationError(
+                "workers only applies to sharded runs; pass shards > 1"
+            )
 
         started = time.perf_counter()
-        collected = COLLECTION_BACKENDS.create(
-            self.collection, data, config.transmission
-        )
+        collected, fleet = self._collect_sharded(data, shards, workers)
         collection_seconds = time.perf_counter() - started
 
         pipeline = OnlinePipeline(
@@ -397,6 +551,8 @@ class Engine:
             timings=timings,
             config=config,
             collection=self.collection,
+            fleet=fleet,
+            shards=shards,
         )
 
 

@@ -68,6 +68,17 @@ def _build_parser() -> argparse.ArgumentParser:
              f"(one of: {', '.join(COLLECTION_BACKENDS.available())})",
     )
     run_parser.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="partition the fleet into K contiguous node shards for the "
+             "collection stage of --config runs (results are "
+             "bit-identical to a single shard)",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=None, metavar="W",
+        help="run the shards in a process pool of W workers "
+             "(default: in-process)",
+    )
+    run_parser.add_argument(
         "--nodes", type=int, default=None,
         help="override the number of simulated machines",
     )
@@ -115,10 +126,21 @@ def _command_run_config(args: argparse.Namespace) -> int:
         print(f"invalid configuration: {exc}", file=sys.stderr)
         return 2
     dataset = load_alibaba_like(num_nodes=num_nodes, num_steps=num_steps)
-    result = engine.run(dataset.resource("cpu"))
+    try:
+        result = engine.run(
+            dataset.resource("cpu"),
+            shards=args.shards,
+            workers=args.workers,
+        )
+    except ReproError as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    shard_part = (
+        f", {args.shards} shards" if args.shards != 1 else ""
+    )
     print(
         f"engine run: config={args.config} "
-        f"({num_nodes} nodes, {num_steps} steps)"
+        f"({num_nodes} nodes, {num_steps} steps{shard_part})"
     )
     print(result.summary())
     return 0
@@ -136,6 +158,10 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.collection != "adaptive":
         print("--collection only applies to --config runs; experiments "
               "choose their own collection", file=sys.stderr)
+        return 2
+    if args.shards != 1 or args.workers is not None:
+        print("--shards/--workers only apply to --config runs",
+              file=sys.stderr)
         return 2
     if not args.experiments:
         print("nothing to run: pass experiment ids or --config",

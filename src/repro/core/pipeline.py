@@ -23,14 +23,14 @@ from __future__ import annotations
 
 import logging
 import time
-import warnings
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro._compat import warn_once
 from repro.core.config import ForecastingConfig, PipelineConfig
+from repro.core.ring import SlotRing
 from repro.core.types import ClusterAssignment
 from repro.clustering.dynamic import DynamicClusterTracker
 from repro.exceptions import ConfigurationError, DataError, ReproError
@@ -138,13 +138,14 @@ class OnlinePipeline:
         ]
         # Only the last M'+1 slots feed the membership forecast and the
         # offset estimation, so these rolling windows are bounded at
-        # O(window · N · d).  (The trackers' centroid/assignment
-        # histories still grow with the stream — full centroid series
-        # are needed for model training.)
+        # O(window · N · d) — preallocated rings, not deques of per-slot
+        # arrays, so steady-state appends allocate nothing.  (The
+        # trackers' centroid/assignment histories still grow with the
+        # stream — full centroid series are needed for model training.)
         window = config.forecasting.membership_lookback + 1
-        self._stored_history: Deque[np.ndarray] = deque(maxlen=window)
-        self._label_history: List[Deque[np.ndarray]] = [
-            deque(maxlen=window) for _ in self._groups
+        self._stored_history = SlotRing(window)
+        self._label_history: List[SlotRing] = [
+            SlotRing(window) for _ in self._groups
         ]
         self._time = 0
         self._last_train: Optional[int] = None
@@ -203,7 +204,7 @@ class OnlinePipeline:
                 f"stored must be ({self.num_nodes}, {self.num_resources}), "
                 f"got {z.shape}"
             )
-        self._stored_history.append(z.copy())
+        self._stored_history.append(z)  # the ring copies into its buffer
 
         started = time.perf_counter()
         assignments = []
@@ -315,8 +316,8 @@ class OnlinePipeline:
             )
             memberships_all[g] = memberships
 
-            # The deque's maxlen is exactly lookback + 1 (set in
-            # __init__), so the whole window is the whole deque.
+            # The ring's maxlen is exactly lookback + 1 (set in
+            # __init__), so the whole window is the whole ring.
             window = len(self._stored_history)
             stored_group = [z[:, group] for z in self._stored_history]
             centroid_group = [
@@ -415,11 +416,10 @@ def run_pipeline(
         The :class:`repro.api.RunResult` (a :class:`PipelineResult`)
         with RMSE per horizon.
     """
-    warnings.warn(
+    warn_once(
+        "run_pipeline",
         "run_pipeline is deprecated; use "
         "repro.api.Engine(config, collection=...).run(trace)",
-        DeprecationWarning,
-        stacklevel=2,
     )
     from repro.api import Engine
 

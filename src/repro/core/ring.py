@@ -1,0 +1,94 @@
+"""Preallocated ring buffers for bounded per-slot history windows.
+
+The online pipeline only ever looks back ``M' + 1`` slots for membership
+forecasting and offset estimation.  A :class:`SlotRing` keeps that
+window in one preallocated ``(maxlen, …)`` array instead of a deque of
+per-slot array objects: appends are a single row copy into recycled
+storage (no per-slot allocation, no object churn), and the window reads
+back in order as zero-copy row views.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+
+
+class SlotRing:
+    """Fixed-capacity ring of the last ``maxlen`` per-slot arrays.
+
+    Storage is allocated once, on the first append (when the slot shape
+    and dtype become known), and rows are recycled thereafter.
+    Iteration yields the retained slots oldest → newest, as views into
+    the buffer — the drop-in contract of the ``deque(maxlen=…)`` it
+    replaces.
+
+    Args:
+        maxlen: Window size (slots retained), >= 1.
+    """
+
+    __slots__ = ("maxlen", "_buffer", "_length", "_cursor")
+
+    def __init__(self, maxlen: int) -> None:
+        if maxlen < 1:
+            raise ConfigurationError(f"maxlen must be >= 1, got {maxlen}")
+        self.maxlen = int(maxlen)
+        self._buffer: Optional[np.ndarray] = None
+        self._length = 0
+        self._cursor = 0
+
+    def append(self, value: np.ndarray) -> None:
+        """Copy one slot's array into the ring (evicting the oldest)."""
+        arr = np.asarray(value)
+        if self._buffer is None:
+            self._buffer = np.empty(
+                (self.maxlen,) + arr.shape, dtype=arr.dtype
+            )
+        elif arr.shape != self._buffer.shape[1:]:
+            raise DataError(
+                f"slot shape {arr.shape} does not match the ring's "
+                f"{self._buffer.shape[1:]}"
+            )
+        self._buffer[self._cursor] = arr
+        self._cursor = (self._cursor + 1) % self.maxlen
+        if self._length < self.maxlen:
+            self._length += 1
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        """Retained slots oldest → newest (zero-copy row views)."""
+        if self._buffer is None:
+            return
+        start = (self._cursor - self._length) % self.maxlen
+        for k in range(self._length):
+            yield self._buffer[(start + k) % self.maxlen]
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        """The ``index``-th retained slot (0 oldest, -1 newest)."""
+        if not -self._length <= index < self._length:
+            raise IndexError(index)
+        if index < 0:
+            index += self._length
+        start = (self._cursor - self._length) % self.maxlen
+        return self._buffer[(start + index) % self.maxlen]
+
+    def ordered(self) -> np.ndarray:
+        """The window stacked oldest → newest, shape ``(len, …)`` (copy)."""
+        if self._buffer is None:
+            raise DataError("empty ring has no window")
+        start = (self._cursor - self._length) % self.maxlen
+        index = (start + np.arange(self._length)) % self.maxlen
+        return self._buffer[index]
+
+    def clear(self) -> None:
+        """Forget all retained slots (storage stays allocated)."""
+        self._length = 0
+        self._cursor = 0
+
+
+__all__ = ["SlotRing"]

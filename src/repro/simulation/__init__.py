@@ -1,4 +1,4 @@
-"""Time-slotted simulation substrate: nodes, transport, central store."""
+"""Time-slotted simulation substrate: columnar fleet, transport, store."""
 
 from repro.simulation.collection import (
     CollectionResult,
@@ -8,8 +8,9 @@ from repro.simulation.collection import (
     simulate_uniform_collection,
 )
 from repro.simulation.controller import CentralStore
+from repro.simulation.fleet import FleetState, merge_collection_shards, shard_slices
 from repro.simulation.node import LocalNode
-from repro.simulation.transport import Channel, TransportStats
+from repro.simulation.transport import Channel, PerNodeMessages, TransportStats
 
 
 def __getattr__(name):
@@ -28,8 +29,12 @@ __all__ = [
     "simulate_adaptive_collection",
     "simulate_uniform_collection",
     "CentralStore",
+    "FleetState",
     "LocalNode",
     "MonitoringSystem",
     "Channel",
+    "PerNodeMessages",
     "TransportStats",
+    "merge_collection_shards",
+    "shard_slices",
 ]

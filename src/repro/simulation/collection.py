@@ -21,11 +21,11 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from repro.core.config import TransmissionConfig
-from repro.core.types import Measurement, validate_trace
+from repro.core.types import validate_trace
 from repro.exceptions import ConfigurationError
 from repro.registry import COLLECTION_BACKENDS, register_collection_backend
 from repro.simulation.controller import CentralStore
-from repro.simulation.node import LocalNode
+from repro.simulation.fleet import FleetState
 from repro.simulation.transport import Channel, TransportStats
 from repro.transmission.adaptive import AdaptiveTransmissionPolicy
 from repro.transmission.base import TransmissionPolicy
@@ -82,8 +82,14 @@ class CollectionSimulation:
     ) -> None:
         if num_nodes < 1:
             raise ConfigurationError("num_nodes must be >= 1")
-        self.nodes = [LocalNode(i, policy_factory(i)) for i in range(num_nodes)]
-        self.channel = Channel()
+        self.fleet = FleetState(num_nodes)
+        # One counter array from transport to fleet: the channel's stats
+        # are backed by the fleet's message_counts column.
+        self.channel = Channel(node_counts=self.fleet.message_counts)
+        self.nodes = [
+            self.fleet.node_view(i, policy_factory(i))
+            for i in range(num_nodes)
+        ]
 
     def run(self, trace: np.ndarray) -> CollectionResult:
         """Run the full trace through the nodes and central store.
@@ -128,31 +134,24 @@ class CollectionSimulation:
     def _run_object_loop(self, data: np.ndarray) -> CollectionResult:
         """Faithful slot-by-slot, node-by-node simulation."""
         num_steps, num_nodes, dim = data.shape
-        store = CentralStore(num_nodes, dim)
-        # Continuation runs: nodes that already observed earlier slots
-        # carry a mirror of the central value — seed the fresh store
-        # with it so silent nodes keep reporting their last transmitted
-        # value instead of the store's zero initialization.
-        carried = [
-            Measurement(
-                node=node.node_id,
-                time=node.time - 1,
-                value=node.stored_value.copy(),
-            )
-            for node in self.nodes
-            if node.time > 0 and node.stored_value.shape == (dim,)
-        ]
-        if carried:
-            store.apply(carried, now=-1)
+        # The store views the shared fleet columns, so continuation runs
+        # (nodes that already observed earlier slots) see the carried
+        # mirrors automatically: silent nodes keep reporting their last
+        # transmitted value instead of a zero initialization.
+        store = CentralStore(dimension=dim, fleet=self.fleet)
         stored = np.empty_like(data)
         decisions = np.zeros((num_steps, num_nodes), dtype=int)
+        # Apply on the fleet clock (nodes advance in lock-step here), so
+        # the store's last_update writes agree with the node views' and
+        # continuation runs keep one time base.
+        base = int(self.fleet.times.max())
         for t in range(num_steps):
             for node in self.nodes:
                 message = node.observe(data[t, node.node_id])
                 if message is not None:
                     self.channel.send(message)
                     decisions[t, node.node_id] = 1
-            store.apply(self.channel.drain(), now=t)
+            store.apply(self.channel.drain(), now=base + t)
             stored[t] = store.values
         return CollectionResult(
             stored=stored, decisions=decisions, stats=self.channel.stats
@@ -182,21 +181,18 @@ class CollectionSimulation:
             for i, policy in enumerate(policies):
                 policy.sync_batch(decisions[:, i], accumulator[i])
 
-        # Transport accounting identical to per-message Channel.send.
-        stats = self.channel.stats
-        per_node = decisions.sum(axis=0)
-        messages = int(per_node.sum())
-        stats.messages += messages
-        stats.payload_floats += messages * dim
-        for i, count in enumerate(per_node.tolist()):
-            if count:
-                stats.per_node_messages[i] = (
-                    stats.per_node_messages.get(i, 0) + int(count)
-                )
-        for i, node in enumerate(self.nodes):
-            node.sync_batch(num_steps, stored[-1, i])
+        # Transport accounting identical to per-message Channel.send —
+        # counters advance only through the channel.
+        self.channel.record_batch(decisions.sum(axis=0), dim)
+        # Columnar fast-forward: clocks, mirrors, last-transmit slots
+        # and the policy-accumulator column in whole-fleet array ops.
+        self.fleet.advance_batch(decisions, stored[-1])
+        if isinstance(policies[0], AdaptiveTransmissionPolicy):
+            self.fleet.policy_state[:] = queues
+        else:
+            self.fleet.policy_state[:] = accumulator
         return CollectionResult(
-            stored=stored, decisions=decisions, stats=stats
+            stored=stored, decisions=decisions, stats=self.channel.stats
         )
 
 
@@ -305,6 +301,8 @@ def simulate_uniform_collection(
     *,
     stagger: bool = True,
     seed: int = 0,
+    node_offset: int = 0,
+    total_nodes: Optional[int] = None,
 ) -> CollectionResult:
     """Vectorized uniform-sampling collection over a full trace.
 
@@ -315,14 +313,30 @@ def simulate_uniform_collection(
             transmit in lock-step (matches the practical deployment and
             the object-level engine's ``phase`` parameter).
         seed: RNG seed for phases.
+        node_offset: First node's index within the whole fleet — used by
+            sharded execution, where ``trace`` is a contiguous node
+            slice, so each node keeps the exact phase it would draw in a
+            single-shard run.
+        total_nodes: Whole-fleet size the phases are drawn for (defaults
+            to the trace's own node count).
     """
     if not 0.0 < budget <= 1.0:
         raise ConfigurationError(f"budget must be in (0, 1], got {budget}")
     data, _, num_nodes, _ = _prepare(trace)
-    rng = np.random.default_rng(seed)
-    phases = (
-        rng.uniform(0.0, 1.0, size=num_nodes) if stagger else np.zeros(num_nodes)
-    )
+    total = num_nodes if total_nodes is None else int(total_nodes)
+    if not 0 <= node_offset <= total - num_nodes:
+        raise ConfigurationError(
+            f"node_offset {node_offset} with {num_nodes} nodes exceeds "
+            f"total_nodes {total}"
+        )
+    if stagger:
+        # Draw the whole fleet's phases and slice, so a shard's phases
+        # are bit-identical to its columns of the single-shard draw.
+        phases = np.random.default_rng(seed).uniform(0.0, 1.0, size=total)[
+            node_offset : node_offset + num_nodes
+        ]
+    else:
+        phases = np.zeros(num_nodes)
     stored, decisions, _ = _uniform_recurrence(
         data, np.full(num_nodes, budget), phases
     )
@@ -343,9 +357,18 @@ def _collect_adaptive(
 
 @register_collection_backend("uniform")
 def _collect_uniform(
-    trace: np.ndarray, config: TransmissionConfig
+    trace: np.ndarray,
+    config: TransmissionConfig,
+    *,
+    node_offset: int = 0,
+    total_nodes: Optional[int] = None,
 ) -> CollectionResult:
-    return simulate_uniform_collection(trace, config.budget)
+    return simulate_uniform_collection(
+        trace,
+        config.budget,
+        node_offset=node_offset,
+        total_nodes=total_nodes,
+    )
 
 
 @register_collection_backend("perfect")

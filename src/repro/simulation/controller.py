@@ -4,6 +4,15 @@ The controller keeps the latest received measurement per node — the
 vector ``z_t`` — applying the paper's staleness rule: when node ``i``
 does not transmit at slot ``t``, ``z_{i,t}`` keeps the most recent
 previously received value ``x_{i,t−p}``.
+
+Since the columnar refactor the store is a view over a
+:class:`~repro.simulation.fleet.FleetState`: ``values`` is the fleet's
+``(N, d)`` ``stored`` matrix and the per-node last-update slots are the
+fleet's ``last_update`` column.  Constructed standalone —
+``CentralStore(N, d)`` — it owns a private fleet, so the historical API
+is unchanged; constructed over a shared fleet it is the same memory the
+local-node views mirror, which is exactly the paper's invariant (nodes
+track the central copy without feedback).
 """
 
 from __future__ import annotations
@@ -14,39 +23,70 @@ import numpy as np
 
 from repro.core.types import Measurement
 from repro.exceptions import SimulationError
+from repro.simulation.fleet import FleetState
 
 
 class CentralStore:
     """The controller's per-node measurement store ``z``.
 
     Args:
-        num_nodes: Number of local nodes N.
-        dimension: Resource dimensionality d.
+        num_nodes: Number of local nodes N (omit when ``fleet`` given).
+        dimension: Resource dimensionality d (omit when ``fleet`` given
+            and already dimensioned).
+        fleet: Columnar fleet state to view instead of owning arrays.
     """
 
-    def __init__(self, num_nodes: int, dimension: int) -> None:
-        if num_nodes < 1 or dimension < 1:
-            raise SimulationError("num_nodes and dimension must be >= 1")
-        self.num_nodes = num_nodes
-        self.dimension = dimension
-        self._values = np.zeros((num_nodes, dimension))
-        self._last_update = np.full(num_nodes, -1, dtype=int)
+    def __init__(
+        self,
+        num_nodes: Optional[int] = None,
+        dimension: Optional[int] = None,
+        *,
+        fleet: Optional[FleetState] = None,
+    ) -> None:
+        if fleet is None:
+            if num_nodes is None or dimension is None:
+                raise SimulationError(
+                    "pass num_nodes and dimension, or a fleet"
+                )
+            if num_nodes < 1 or dimension < 1:
+                raise SimulationError(
+                    "num_nodes and dimension must be >= 1"
+                )
+            fleet = FleetState(num_nodes, dimension)
+        else:
+            if num_nodes is not None and num_nodes != fleet.num_nodes:
+                raise SimulationError(
+                    f"num_nodes {num_nodes} disagrees with the fleet's "
+                    f"{fleet.num_nodes}"
+                )
+            if dimension is None:
+                if fleet.dim is None:
+                    raise SimulationError(
+                        "the fleet is not dimensioned yet; pass dimension"
+                    )
+            else:
+                # Allocates when the fleet is fresh; raises loudly when
+                # it disagrees with an already-dimensioned fleet.
+                fleet.ensure_dim(dimension)
+        self.fleet = fleet
+        self.num_nodes = fleet.num_nodes
+        self.dimension = fleet.dim
         self._time = -1
 
     @property
     def values(self) -> np.ndarray:
         """Current stored matrix ``z_t`` of shape ``(N, d)`` (a copy)."""
-        return self._values.copy()
+        return self.fleet.stored.copy()
 
     @property
     def last_update(self) -> np.ndarray:
         """Per-node slot index of the last received measurement."""
-        return self._last_update.copy()
+        return self.fleet.last_update.copy()
 
     @property
     def initialized(self) -> bool:
         """True once every node has transmitted at least once."""
-        return bool((self._last_update >= 0).all())
+        return bool((self.fleet.last_update >= 0).all())
 
     def staleness(self, now: int) -> np.ndarray:
         """Per-node age ``p`` such that ``z_{i,now} = x_{i,now−p}``."""
@@ -54,7 +94,7 @@ class CentralStore:
             raise SimulationError(
                 "staleness undefined before every node has reported once"
             )
-        return now - self._last_update
+        return now - self.fleet.last_update
 
     def apply(self, measurements: Iterable[Measurement], now: int) -> None:
         """Ingest one slot's received measurements.
@@ -68,6 +108,7 @@ class CentralStore:
                 f"time went backwards: {now} after {self._time}"
             )
         self._time = now
+        fleet = self.fleet
         for measurement in measurements:
             i = measurement.node
             if not 0 <= i < self.num_nodes:
@@ -77,5 +118,6 @@ class CentralStore:
                     f"node {i} sent dimension {measurement.value.shape}, "
                     f"store expects ({self.dimension},)"
                 )
-            self._values[i] = measurement.value
-            self._last_update[i] = now
+            fleet.stored[i] = measurement.value
+            fleet.observed[i] = True
+            fleet.last_update[i] = now

@@ -1,0 +1,245 @@
+"""Columnar fleet state: one structure-of-arrays for the whole fleet.
+
+Scaling the paper's system to very large fleets makes the object graph
+itself the bottleneck: one :class:`~repro.simulation.node.LocalNode`
+Python object per node, a dict entry per node in the transport counters,
+and per-node attribute chasing on every slot.  :class:`FleetState`
+replaces that with a single structure-of-arrays — the stored values
+``z_t`` as one ``(N, d)`` matrix plus per-node clocks, last-transmit
+slots, message counters and policy accumulators as flat numpy columns —
+that every layer (transport accounting, the central store's staleness
+rule, collection engines, the pipeline's forecasts) reads and writes
+directly.
+
+:class:`~repro.simulation.node.LocalNode` and
+:class:`~repro.simulation.controller.CentralStore` remain as thin views
+over these columns for backward compatibility: a ``LocalNode`` is a
+``(fleet, index)`` pair whose ``observe``/``stored_value`` touch the
+columns in place, and ``CentralStore.values`` is a copy of
+``fleet.stored``.  Sharded execution (``Engine.run(trace, shards=K)``)
+builds on the same layout: each shard runs collection over a contiguous
+column slice and :meth:`FleetState.from_run` /
+:func:`merge_collection_shards` reassemble the global state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+
+class FleetState:
+    """Structure-of-arrays state for a fleet of ``N`` nodes.
+
+    Columns (all length ``N`` unless noted):
+
+    * ``stored`` — ``(N, d)`` float matrix of the centrally stored
+      values ``z_t`` (the nodes' mirrors coincide with the central
+      store's copy by construction, so it is held exactly once).
+      Allocated lazily on the first transmission when ``dim`` is not
+      known up front.
+    * ``observed`` — bool, True once the node's forced first
+      transmission happened (``z_i`` is defined).
+    * ``times`` — int64 per-node slot clocks.
+    * ``last_update`` — int64 slot of each node's last transmission
+      (``-1`` before the first one); drives the staleness rule.
+    * ``message_counts`` — int64 per-node delivered-message counters.
+      This array *backs* the channel's
+      :class:`~repro.simulation.transport.TransportStats` — counters
+      advance only through the channel, never here.
+    * ``policy_state`` — float per-node scalar policy accumulator
+      (Lyapunov virtual queue ``Q_i(t)`` for the adaptive policy, the
+      error-diffusion accumulator for uniform sampling).  Maintained by
+      live fleets (node views, collection engines); NaN in trace-level
+      snapshots (:meth:`from_run`), where backends do not expose it.
+
+    Args:
+        num_nodes: Fleet size ``N``.
+        dim: Resource dimensionality ``d``; omit to infer it from the
+            first stored value.
+    """
+
+    def __init__(self, num_nodes: int, dim: Optional[int] = None) -> None:
+        if num_nodes < 1:
+            raise SimulationError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.num_nodes = int(num_nodes)
+        self._dim: Optional[int] = None
+        self.stored: Optional[np.ndarray] = None
+        self.observed = np.zeros(self.num_nodes, dtype=bool)
+        self.times = np.zeros(self.num_nodes, dtype=np.int64)
+        self.last_update = np.full(self.num_nodes, -1, dtype=np.int64)
+        self.message_counts = np.zeros(self.num_nodes, dtype=np.int64)
+        self.policy_state = np.zeros(self.num_nodes, dtype=float)
+        if dim is not None:
+            self.ensure_dim(dim)
+
+    @property
+    def dim(self) -> Optional[int]:
+        """Resource dimensionality ``d`` (None until first allocation)."""
+        return self._dim
+
+    def ensure_dim(self, dim: int) -> np.ndarray:
+        """Allocate (or check) the ``(N, d)`` stored matrix.
+
+        The dimensionality is fixed for the fleet's lifetime: a second
+        call with a different ``d`` raises, which is what turns silent
+        shape drift between runs into a loud error.
+        """
+        dim = int(dim)
+        if self._dim is None:
+            if dim < 1:
+                raise SimulationError(f"dimension must be >= 1, got {dim}")
+            self._dim = dim
+            self.stored = np.zeros((self.num_nodes, dim))
+        elif self._dim != dim:
+            raise SimulationError(
+                f"fleet dimensionality is fixed at d={self._dim}, "
+                f"got a d={dim} value"
+            )
+        return self.stored
+
+    # ------------------------------------------------------------------
+    # Whole-fleet (columnar) updates
+    # ------------------------------------------------------------------
+
+    def advance_batch(
+        self, decisions: np.ndarray, final_stored: np.ndarray
+    ) -> None:
+        """Fast-forward the whole fleet past a vectorized batch run.
+
+        The columnar counterpart of calling
+        :meth:`LocalNode.sync_batch <repro.simulation.node.LocalNode.
+        sync_batch>` node by node, including the exact per-node
+        last-transmit slots recovered from the decision matrix.
+        Message counters are *not* advanced here — transport accounting
+        stays with the channel.
+
+        Args:
+            decisions: Binary ``(T, N)`` transmission decisions of the
+                batch, aligned with each node's current clock.
+            final_stored: ``(N, d)`` stored values after the last slot.
+        """
+        decisions = np.asarray(decisions)
+        num_steps, num_nodes = decisions.shape
+        if num_nodes != self.num_nodes:
+            raise SimulationError(
+                f"decisions cover {num_nodes} nodes, fleet has "
+                f"{self.num_nodes}"
+            )
+        final = np.asarray(final_stored, dtype=float)
+        if final.ndim == 1:
+            final = final[:, np.newaxis]
+        stored = self.ensure_dim(final.shape[1])
+        sent_any = decisions.any(axis=0)
+        # Index of each node's last 1 in the decision matrix.
+        last_rel = num_steps - 1 - np.argmax(decisions[::-1], axis=0)
+        self.last_update[sent_any] = (
+            self.times[sent_any] + last_rel[sent_any]
+        )
+        self.times += num_steps
+        stored[sent_any] = final[sent_any]
+        self.observed |= sent_any
+
+    def reset_nodes(self, index: Optional[int] = None) -> None:
+        """Reset one node (or, with ``index=None``, the whole fleet)."""
+        where = slice(None) if index is None else index
+        self.observed[where] = False
+        self.times[where] = 0
+        self.last_update[where] = -1
+        self.policy_state[where] = 0.0
+        if self.stored is not None:
+            self.stored[where] = 0.0
+
+    # ------------------------------------------------------------------
+    # Views and assembly
+    # ------------------------------------------------------------------
+
+    def node_view(self, index: int, policy) -> "LocalNode":
+        """A :class:`LocalNode` view over this fleet's column ``index``."""
+        from repro.simulation.node import LocalNode
+
+        return LocalNode(index, policy, fleet=self)
+
+    @classmethod
+    def from_run(
+        cls,
+        stored: np.ndarray,
+        decisions: np.ndarray,
+    ) -> "FleetState":
+        """Snapshot the fleet state a whole-trace collection run implies.
+
+        The message counters are the per-node decision sums (transport
+        stats then adopt this column — see
+        :meth:`TransportStats.from_node_counts
+        <repro.simulation.transport.TransportStats.from_node_counts>` —
+        so fleet and transport stay one array).  Policy accumulators are
+        not recoverable from a trace-level result (backends do not
+        expose them), so the ``policy_state`` column is NaN — explicitly
+        untracked, never stale defaults.
+
+        Args:
+            stored: ``(T, N, d)`` stored-value trajectory.
+            decisions: ``(T, N)`` transmission decisions.
+        """
+        num_steps, num_nodes, dim = stored.shape
+        fleet = cls(num_nodes, dim)
+        fleet.advance_batch(decisions, stored[-1])
+        fleet.message_counts = decisions.sum(axis=0).astype(np.int64)
+        fleet.policy_state.fill(np.nan)
+        return fleet
+
+
+def shard_slices(num_nodes: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` node ranges partitioning a fleet.
+
+    Sizes differ by at most one (``np.array_split`` semantics), so
+    shard boundaries are deterministic for a given ``(N, K)``.
+    """
+    if shards < 1:
+        raise SimulationError(f"shards must be >= 1, got {shards}")
+    if shards > num_nodes:
+        raise SimulationError(
+            f"cannot split {num_nodes} nodes into {shards} shards"
+        )
+    base, extra = divmod(num_nodes, shards)
+    bounds = [0]
+    for k in range(shards):
+        bounds.append(bounds[-1] + base + (1 if k < extra else 0))
+    return [(bounds[k], bounds[k + 1]) for k in range(shards)]
+
+
+def merge_collection_shards(
+    shard_results: Sequence,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reassemble per-shard collection outputs into global arrays.
+
+    Shards hold contiguous node ranges in order, so the merge is one
+    concatenation along the node axis per array — the resulting
+    ``stored`` matrix is bit-identical to a single-shard run because
+    every backend's recurrence is independent per node column.
+
+    Args:
+        shard_results: Per-shard ``(stored, decisions)`` pairs (or
+            objects with those attributes) in shard order.
+
+    Returns:
+        ``(stored, decisions)`` for the whole fleet.
+    """
+    stored_parts, decision_parts = [], []
+    for result in shard_results:
+        if isinstance(result, tuple):
+            stored, decisions = result
+        else:
+            stored, decisions = result.stored, result.decisions
+        stored_parts.append(stored)
+        decision_parts.append(decisions)
+    return (
+        np.concatenate(stored_parts, axis=1),
+        np.concatenate(decision_parts, axis=1),
+    )
+
+
+__all__ = ["FleetState", "shard_slices", "merge_collection_shards"]

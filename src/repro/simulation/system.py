@@ -15,11 +15,11 @@ New code should build the engine directly::
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional
 
 import numpy as np
 
+from repro._compat import warn_once
 from repro.api import Engine, PolicyFactory
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import ForecasterFactory, OnlinePipeline, StepOutput
@@ -54,11 +54,10 @@ class MonitoringSystem:
         policy_factory: Optional[PolicyFactory] = None,
         forecaster_factory: Optional[ForecasterFactory] = None,
     ) -> None:
-        warnings.warn(
+        warn_once(
+            "MonitoringSystem",
             "MonitoringSystem is deprecated; use repro.api.Engine("
             "config, num_nodes=..., num_resources=...) and engine.step",
-            DeprecationWarning,
-            stacklevel=2,
         )
         self.config = config
         self.engine = Engine(

@@ -5,49 +5,242 @@ bandwidth" (Sec. II), so the simulation tracks exactly how many messages
 and payload bytes cross the network.  This is the piece an operator would
 point at a real message bus; here it is an in-process channel with
 counters.
+
+Counters are columnar: the per-node message counts live in one int64
+array (shareable with :attr:`FleetState.message_counts
+<repro.simulation.fleet.FleetState.message_counts>` so the fleet and the
+transport layer are literally the same memory), exposed through the
+read-only dict-like :class:`PerNodeMessages` view for the historical
+``stats.per_node_messages[i]`` API.  All counters advance in exactly one
+place — the :class:`Channel` — and the public fields are read-only
+properties, so double counting (e.g. a collection engine also bumping
+the totals) is an ``AttributeError`` instead of a silent corruption.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Iterator, List, Mapping, Optional
+
+import numpy as np
 
 from repro.core.types import Measurement
+from repro.exceptions import SimulationError
 
 
-@dataclass
+class PerNodeMessages(Mapping):
+    """Read-only dict-like view over the per-node message-count column.
+
+    Behaves like the ``{node_id: count}`` dict it replaces: only nodes
+    with at least one delivered message appear as keys, it compares
+    equal to plain dicts with the same contents, and — like that dict —
+    it is *live*: it reads the owning stats' current column on every
+    access (not a snapshot), so holding the mapping across sends stays
+    correct even when the growable counter array is reallocated.
+    """
+
+    def __init__(self, stats: "TransportStats") -> None:
+        self._stats = stats
+
+    @property
+    def _counts(self) -> np.ndarray:
+        return self._stats._node_counts
+
+    def __getitem__(self, node: int) -> int:
+        if not (isinstance(node, (int, np.integer)) and
+                0 <= node < self._counts.shape[0]):
+            raise KeyError(node)
+        count = int(self._counts[node])
+        if count == 0:
+            raise KeyError(node)
+        return count
+
+    def __iter__(self) -> Iterator[int]:
+        return (int(i) for i in np.flatnonzero(self._counts))
+
+    def __len__(self) -> int:
+        return int(np.count_nonzero(self._counts))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (PerNodeMessages, dict)):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        equal = self.__eq__(other)
+        return equal if equal is NotImplemented else not equal
+
+    def as_array(self) -> np.ndarray:
+        """The backing int64 count column (a copy), shape ``(N,)``."""
+        return self._counts.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(dict(self))
+
+
 class TransportStats:
-    """Aggregate transport counters.
+    """Aggregate transport counters (read-only outside the channel).
 
     Attributes:
         messages: Total messages delivered.
         payload_floats: Total float values carried (d per message).
-        per_node_messages: Message count per node id.
+        per_node_messages: Message count per node id (dict-like view
+            over the int64 count column).
+
+    Args:
+        node_counts: Optional pre-allocated int64 per-node counter array
+            to adopt *without copying* — pass a fleet's
+            ``message_counts`` column so transport and fleet share one
+            array.  Without it, a small array is allocated and grown on
+            demand (node ids are then unbounded, as with the old dict).
+        floats_per_message: Payload floats each already-counted message
+            carried (``d``).  Required when adopting an array with
+            non-zero counts, so ``messages`` and ``payload_floats``
+            stay mutually consistent.
     """
 
-    messages: int = 0
-    payload_floats: int = 0
-    per_node_messages: Dict[int, int] = field(default_factory=dict)
+    def __init__(
+        self,
+        node_counts: Optional[np.ndarray] = None,
+        *,
+        floats_per_message: Optional[int] = None,
+    ) -> None:
+        self._messages = 0
+        self._payload_floats = 0
+        if node_counts is None:
+            self._node_counts = np.zeros(16, dtype=np.int64)
+            self._fixed = False
+        else:
+            if node_counts.dtype != np.int64:
+                raise SimulationError(
+                    f"node_counts must be int64, got {node_counts.dtype}"
+                )
+            self._node_counts = node_counts
+            self._fixed = True
+            self._messages = int(node_counts.sum())
+            if self._messages:
+                if floats_per_message is None:
+                    raise SimulationError(
+                        "adopting non-zero counters needs "
+                        "floats_per_message (use "
+                        "TransportStats.from_node_counts) so payload "
+                        "accounting stays consistent"
+                    )
+                self._payload_floats = self._messages * int(
+                    floats_per_message
+                )
+
+    @property
+    def messages(self) -> int:
+        """Total messages delivered (advances only via the channel)."""
+        return self._messages
+
+    @property
+    def payload_floats(self) -> int:
+        """Total float values carried (advances only via the channel)."""
+        return self._payload_floats
+
+    @property
+    def per_node_messages(self) -> PerNodeMessages:
+        """Dict-like per-node message counts (a live view)."""
+        return PerNodeMessages(self)
 
     def payload_bytes(self, bytes_per_float: int = 8) -> int:
         """Payload volume assuming ``bytes_per_float`` per value."""
-        return self.payload_floats * bytes_per_float
+        return self._payload_floats * bytes_per_float
+
+    # -- mutation: called by Channel (and shard reduction) only ---------
+
+    def _ensure_node(self, node: int) -> None:
+        if node < 0:
+            raise SimulationError(f"negative node id {node}")
+        if node >= self._node_counts.shape[0]:
+            if self._fixed:
+                raise SimulationError(
+                    f"node id {node} outside the fleet's "
+                    f"{self._node_counts.shape[0]} counters"
+                )
+            grown = np.zeros(
+                max(2 * self._node_counts.shape[0], node + 1), dtype=np.int64
+            )
+            grown[: self._node_counts.shape[0]] = self._node_counts
+            self._node_counts = grown
+
+    def _count(self, node: int, floats: int) -> None:
+        """Account one delivered message (channel-internal)."""
+        self._ensure_node(node)
+        self._messages += 1
+        self._payload_floats += int(floats)
+        self._node_counts[node] += 1
+
+    def _count_batch(
+        self, per_node: np.ndarray, floats_per_message: int
+    ) -> None:
+        """Account a whole batch of deliveries at once (channel-internal)."""
+        per_node = np.asarray(per_node, dtype=np.int64)
+        self._ensure_node(per_node.shape[0] - 1)
+        messages = int(per_node.sum())
+        self._messages += messages
+        self._payload_floats += messages * int(floats_per_message)
+        self._node_counts[: per_node.shape[0]] += per_node
+
+    # -- shard reduction ------------------------------------------------
+
+    @classmethod
+    def from_node_counts(
+        cls, node_counts: np.ndarray, floats_per_message: int
+    ) -> "TransportStats":
+        """Counters over an existing per-node count column (adopted,
+        not copied — pass a fleet's ``message_counts`` to share it).
+
+        This is how sharded runs reduce transport provenance: the merge
+        sums each shard's decisions into the global fleet column and
+        derives the totals from it here.
+
+        Args:
+            node_counts: int64 delivered-message counts, shape ``(N,)``.
+            floats_per_message: Payload floats per message (``d``).
+        """
+        return cls(
+            node_counts=node_counts, floats_per_message=floats_per_message
+        )
 
 
 class Channel:
-    """In-process node → controller channel with delivery accounting."""
+    """In-process node → controller channel with delivery accounting.
 
-    def __init__(self) -> None:
-        self.stats = TransportStats()
+    The single place transport counters advance: :meth:`send` for
+    per-message delivery, :meth:`record_batch` for vectorized engines
+    that compute a whole batch of deliveries in one array operation.
+
+    Args:
+        node_counts: Optional per-node counter column to adopt (see
+            :class:`TransportStats`).
+    """
+
+    def __init__(self, node_counts: Optional[np.ndarray] = None) -> None:
+        self.stats = TransportStats(node_counts=node_counts)
         self._inbox: List[Measurement] = []
 
     def send(self, measurement: Measurement) -> None:
         """Deliver one measurement to the controller's inbox."""
-        self.stats.messages += 1
-        self.stats.payload_floats += measurement.dimension
-        per_node = self.stats.per_node_messages
-        per_node[measurement.node] = per_node.get(measurement.node, 0) + 1
+        self.stats._count(measurement.node, measurement.dimension)
         self._inbox.append(measurement)
+
+    def record_batch(
+        self, per_node: np.ndarray, floats_per_message: int
+    ) -> None:
+        """Account a batch of already-applied deliveries.
+
+        Used by the vectorized collection fast path, whose messages
+        never materialize as :class:`Measurement` objects; nothing is
+        enqueued, only the counters advance (exactly as ``send`` would
+        have, message by message).
+
+        Args:
+            per_node: Per-node delivered-message counts, shape ``(n,)``.
+            floats_per_message: Payload floats per message (``d``).
+        """
+        self.stats._count_batch(per_node, floats_per_message)
 
     def drain(self) -> List[Measurement]:
         """Remove and return all pending measurements (one slot's worth)."""

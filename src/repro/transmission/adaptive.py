@@ -48,6 +48,10 @@ class AdaptiveTransmissionPolicy(TransmissionPolicy):
         return self._queue
 
     @property
+    def fleet_scalar_state(self) -> float:
+        return self._queue
+
+    @property
     def queue_history(self) -> np.ndarray:
         """``Q_i(t)`` sampled before every decision."""
         return np.asarray(self._queue_history, dtype=float)

@@ -60,6 +60,16 @@ class TransmissionPolicy(abc.ABC):
         )
 
     @property
+    def fleet_scalar_state(self) -> float:
+        """The policy's scalar accumulator, mirrored into the columnar
+        :attr:`FleetState.policy_state
+        <repro.simulation.fleet.FleetState.policy_state>` column (the
+        Lyapunov virtual queue for the adaptive policy, the rate
+        accumulator for uniform sampling; 0.0 for stateless policies).
+        """
+        return 0.0
+
+    @property
     def decisions(self) -> np.ndarray:
         """Binary history of decisions, one entry per slot."""
         return np.asarray(self._decisions, dtype=int)

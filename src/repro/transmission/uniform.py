@@ -34,6 +34,10 @@ class UniformTransmissionPolicy(TransmissionPolicy):
         self.phase = phase
         self._accumulator = phase
 
+    @property
+    def fleet_scalar_state(self) -> float:
+        return self._accumulator
+
     def decide(self, current: np.ndarray, stored: np.ndarray) -> bool:
         """Transmit whenever the rate accumulator crosses 1.
 

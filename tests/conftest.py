@@ -1,0 +1,17 @@
+"""Shared tier-1 fixtures."""
+
+import pytest
+
+from repro._compat import reset_deprecation_warnings
+
+
+@pytest.fixture(autouse=True)
+def _fresh_deprecation_state():
+    """Make every test see first-call deprecation behavior.
+
+    The deprecated shims warn once per process (see ``repro._compat``);
+    tests asserting the warning with ``pytest.deprecated_call`` must not
+    depend on whether an earlier test already triggered it.
+    """
+    reset_deprecation_warnings()
+    yield

@@ -98,7 +98,12 @@ class TestRunResult:
         result = Engine(cfg, collection="uniform").run(walk_trace())
         assert result.config is cfg
         assert result.collection == "uniform"
-        assert result.transport is None  # vectorized backend
+        # Vectorized backends do not account transport themselves; the
+        # engine derives the counters from the decision matrix.
+        assert result.transport is not None
+        assert result.transport.messages == int(result.decisions.sum())
+        assert result.fleet is not None
+        assert result.shards == 1
 
     def test_timings_cover_all_stages(self):
         result = Engine(config()).run(walk_trace())

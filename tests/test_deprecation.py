@@ -1,0 +1,104 @@
+"""Deprecated entry points: one-time warnings, unchanged results.
+
+The shims (`run_pipeline`, `MonitoringSystem`) must (a) warn exactly
+once per process, naming the Engine replacement, and (b) be the *only*
+warning sources — the engine paths stay clean under
+``-W error::DeprecationWarning``.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro._compat import reset_deprecation_warnings
+from repro.api import Engine
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import run_pipeline
+from repro.simulation.system import MonitoringSystem
+
+
+def config():
+    return PipelineConfig.small(
+        num_clusters=2,
+        budget=0.3,
+        max_horizon=2,
+        initial_collection=20,
+        retrain_interval=20,
+    )
+
+
+def walk_trace(steps=60, nodes=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.clip(
+        0.5 + np.cumsum(rng.normal(0, 0.03, (steps, nodes)), axis=0), 0, 1
+    )
+
+
+class TestOneTimeWarnings:
+    def test_run_pipeline_warns_once_naming_engine(self):
+        trace = walk_trace(steps=30)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_pipeline(trace, config())
+            run_pipeline(trace, config())
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.api.Engine" in str(deprecations[0].message)
+
+    def test_monitoring_system_warns_once_naming_engine(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            MonitoringSystem(3, 1, config())
+            MonitoringSystem(3, 1, config())
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.api.Engine" in str(deprecations[0].message)
+
+    def test_shims_warn_independently(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_pipeline(walk_trace(steps=30), config())
+            MonitoringSystem(3, 1, config())
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2
+
+
+class TestEnginePathsAreWarningFree:
+    def test_engine_under_error_filter(self):
+        trace = walk_trace()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = Engine(config())
+            engine.run(trace)
+            engine.run(trace, shards=2)
+            streaming = Engine(config(), num_nodes=6, num_resources=1)
+            for t in range(25):
+                streaming.step(trace[t])
+
+    def test_shim_results_unchanged_by_the_once_gate(self):
+        # The second (silent) shim call returns the same numbers as the
+        # first (warning) call and as the engine itself.
+        trace = walk_trace(seed=4)
+        cfg = config()
+        with pytest.deprecated_call():
+            first = run_pipeline(trace, cfg)
+        second = run_pipeline(trace, cfg)  # silent: already warned
+        new = Engine(cfg).run(trace)
+        assert first.rmse_by_horizon == second.rmse_by_horizon
+        assert first.rmse_by_horizon == new.rmse_by_horizon
+        np.testing.assert_array_equal(first.stored, new.stored)
+        np.testing.assert_array_equal(second.stored, new.stored)
+
+    def test_reset_hook_restores_warning(self):
+        with pytest.deprecated_call():
+            run_pipeline(walk_trace(steps=30), config())
+        reset_deprecation_warnings()
+        with pytest.deprecated_call():
+            run_pipeline(walk_trace(steps=30), config())

@@ -33,6 +33,25 @@ class TestReadmeSnippet:
         assert 0 < result.decisions.mean() <= 1
         assert result.timings["total"] > 0
 
+    def test_scaling_snippet_runs(self):
+        # The code block from README.md §Scaling quickstart, at tiny
+        # scale (the README uses 10k nodes; the invariants are the same).
+        from repro import Engine, PipelineConfig
+        from repro.datasets import load_alibaba_like
+
+        dataset = load_alibaba_like(num_nodes=16, num_steps=100)
+        engine = Engine(PipelineConfig.small(
+            initial_collection=30, retrain_interval=30,
+        ))
+        result = engine.run(dataset.resource("cpu"), shards=4)
+        assert result.transport.messages == int(result.decisions.sum())
+        assert result.fleet.message_counts.shape == (16,)
+        assert result.fleet.last_update.shape == (16,)
+        pooled = engine.run(
+            dataset.resource("cpu"), shards=4, workers=2
+        )
+        assert pooled.rmse_by_horizon == result.rmse_by_horizon
+
     def test_readme_migration_table_mentions_old_entry_points(self):
         with open(os.path.join(REPO_ROOT, "README.md")) as handle:
             text = handle.read()

@@ -1,0 +1,423 @@
+"""Tests for the columnar FleetState core and its thin views.
+
+Covers the FleetState columns themselves, the LocalNode↔FleetState view
+equivalence (hypothesis property: a fleet-backed node behaves
+bit-identically to the historical self-contained node on any decision
+sequence), and the transport-channel edge cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import TransmissionConfig
+from repro.core.types import Measurement
+from repro.exceptions import SimulationError
+from repro.simulation.collection import CollectionSimulation
+from repro.simulation.controller import CentralStore
+from repro.simulation.fleet import (
+    FleetState,
+    merge_collection_shards,
+    shard_slices,
+)
+from repro.simulation.node import LocalNode
+from repro.simulation.transport import Channel, PerNodeMessages, TransportStats
+from repro.transmission.adaptive import AdaptiveTransmissionPolicy
+from repro.transmission.uniform import UniformTransmissionPolicy
+
+
+class TestFleetState:
+    def test_invalid_construction(self):
+        with pytest.raises(SimulationError):
+            FleetState(0)
+
+    def test_lazy_dimension(self):
+        fleet = FleetState(3)
+        assert fleet.dim is None
+        assert fleet.stored is None
+        fleet.ensure_dim(2)
+        assert fleet.dim == 2
+        assert fleet.stored.shape == (3, 2)
+
+    def test_dimension_is_fixed(self):
+        fleet = FleetState(2, 1)
+        fleet.ensure_dim(1)  # same d: fine
+        with pytest.raises(SimulationError):
+            fleet.ensure_dim(3)
+
+    def test_advance_batch_columns(self):
+        fleet = FleetState(4)
+        decisions = np.array([
+            [1, 1, 1, 0],
+            [0, 1, 0, 0],
+            [1, 0, 0, 0],
+        ])
+        final = np.array([[0.1], [0.2], [0.3], [0.4]])
+        fleet.advance_batch(decisions, final)
+        np.testing.assert_array_equal(fleet.times, [3, 3, 3, 3])
+        np.testing.assert_array_equal(fleet.observed, [True, True, True, False])
+        # Last slot with a 1, per node; -1 for the silent node.
+        np.testing.assert_array_equal(fleet.last_update, [2, 1, 0, -1])
+        # Silent node's stored value untouched (stays zero-initialized).
+        np.testing.assert_array_equal(
+            fleet.stored, [[0.1], [0.2], [0.3], [0.0]]
+        )
+
+    def test_advance_batch_accumulates_clocks(self):
+        fleet = FleetState(2, 1)
+        ones = np.ones((5, 2), dtype=int)
+        fleet.advance_batch(ones, np.zeros((2, 1)))
+        fleet.advance_batch(ones, np.ones((2, 1)))
+        np.testing.assert_array_equal(fleet.times, [10, 10])
+        np.testing.assert_array_equal(fleet.last_update, [9, 9])
+
+    def test_advance_batch_node_count_mismatch(self):
+        fleet = FleetState(3, 1)
+        with pytest.raises(SimulationError):
+            fleet.advance_batch(np.ones((4, 2), dtype=int), np.zeros((2, 1)))
+
+    def test_reset_single_node(self):
+        fleet = FleetState(2, 1)
+        fleet.advance_batch(np.ones((3, 2), dtype=int), np.ones((2, 1)))
+        fleet.reset_nodes(0)
+        assert fleet.times[0] == 0 and fleet.times[1] == 3
+        assert not fleet.observed[0] and fleet.observed[1]
+        assert fleet.stored[0, 0] == 0.0 and fleet.stored[1, 0] == 1.0
+
+    def test_from_run_snapshot(self):
+        rng = np.random.default_rng(0)
+        stored = rng.random((6, 3, 2))
+        decisions = rng.integers(0, 2, size=(6, 3))
+        fleet = FleetState.from_run(stored, decisions)
+        np.testing.assert_array_equal(
+            fleet.message_counts, decisions.sum(axis=0)
+        )
+        sent = decisions.any(axis=0)
+        np.testing.assert_array_equal(
+            fleet.stored[sent], stored[-1][sent]
+        )
+
+
+class TestShardHelpers:
+    @given(st.integers(1, 200), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_shard_slices_partition(self, num_nodes, shards):
+        if shards > num_nodes:
+            with pytest.raises(SimulationError):
+                shard_slices(num_nodes, shards)
+            return
+        slices = shard_slices(num_nodes, shards)
+        assert slices[0][0] == 0 and slices[-1][1] == num_nodes
+        sizes = []
+        for (lo, hi), (next_lo, _) in zip(slices, slices[1:]):
+            assert hi == next_lo  # contiguous
+        for lo, hi in slices:
+            assert hi > lo
+            sizes.append(hi - lo)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_merge_accepts_tuples_and_results(self):
+        a = (np.zeros((4, 2, 1)), np.zeros((4, 2), dtype=int))
+        b = (np.ones((4, 3, 1)), np.ones((4, 3), dtype=int))
+        stored, decisions = merge_collection_shards([a, b])
+        assert stored.shape == (4, 5, 1)
+        assert decisions.shape == (4, 5)
+        np.testing.assert_array_equal(decisions[:, :2], 0)
+        np.testing.assert_array_equal(decisions[:, 2:], 1)
+
+
+def _reference_node_model(values, policy):
+    """The pre-refactor LocalNode semantics, transcribed directly."""
+    stored = None
+    out_decisions, out_stored, times = [], [], []
+    time = 0
+    for x in values:
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        if stored is None:
+            policy.first_transmission()
+            transmit = True
+        else:
+            transmit = policy.decide(x, stored)
+        time += 1
+        if transmit:
+            stored = x.copy()
+        out_decisions.append(int(transmit))
+        out_stored.append(stored.copy())
+        times.append(time)
+    return out_decisions, out_stored, times
+
+
+class TestLocalNodeViewEquivalence:
+    """FleetState-backed LocalNode ≡ the historical per-object node."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_view_matches_reference_model(self, seed):
+        rng = np.random.default_rng(seed)
+        num_nodes = int(rng.integers(1, 6))
+        num_steps = int(rng.integers(1, 40))
+        dim = int(rng.integers(1, 3))
+        budget = float(rng.uniform(0.05, 1.0))
+        adaptive = bool(rng.integers(0, 2))
+        trace = rng.random((num_steps, num_nodes, dim))
+
+        def make_policy():
+            if adaptive:
+                return AdaptiveTransmissionPolicy(
+                    TransmissionConfig(budget=budget)
+                )
+            return UniformTransmissionPolicy(budget)
+
+        fleet = FleetState(num_nodes)
+        view_nodes = [
+            LocalNode(i, make_policy(), fleet=fleet)
+            for i in range(num_nodes)
+        ]
+        for i, node in enumerate(view_nodes):
+            ref_decisions, ref_stored, ref_times = _reference_node_model(
+                trace[:, i], make_policy()
+            )
+            for t in range(num_steps):
+                message = node.observe(trace[t, i])
+                assert (message is not None) == bool(ref_decisions[t])
+                np.testing.assert_array_equal(
+                    node.stored_value, ref_stored[t]
+                )
+                assert node.time == ref_times[t]
+            # The fleet columns agree with the view's answers.
+            np.testing.assert_array_equal(fleet.stored[i], ref_stored[-1])
+            assert fleet.times[i] == num_steps
+            assert fleet.observed[i]
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_standalone_node_matches_fleet_backed(self, seed):
+        rng = np.random.default_rng(seed)
+        num_steps = int(rng.integers(1, 50))
+        budget = float(rng.uniform(0.05, 1.0))
+        values = rng.random((num_steps, 1))
+
+        standalone = LocalNode(
+            0, AdaptiveTransmissionPolicy(TransmissionConfig(budget=budget))
+        )
+        fleet = FleetState(3)
+        backed = LocalNode(
+            1,
+            AdaptiveTransmissionPolicy(TransmissionConfig(budget=budget)),
+            fleet=fleet,
+        )
+        for t in range(num_steps):
+            a = standalone.observe(values[t])
+            b = backed.observe(values[t])
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.time == b.time
+                np.testing.assert_array_equal(a.value, b.value)
+        np.testing.assert_array_equal(
+            standalone.stored_value, backed.stored_value
+        )
+        assert standalone.time == backed.time
+        np.testing.assert_array_equal(
+            standalone.policy.decisions, backed.policy.decisions
+        )
+        # Only the backed node's column moved.
+        assert fleet.observed[1] and not fleet.observed[0]
+
+    def test_node_id_outside_fleet_rejected(self):
+        fleet = FleetState(2)
+        with pytest.raises(SimulationError):
+            LocalNode(2, UniformTransmissionPolicy(1.0), fleet=fleet)
+
+    def test_policy_state_column_mirrors_queue(self):
+        fleet = FleetState(1)
+        policy = AdaptiveTransmissionPolicy(TransmissionConfig(budget=0.4))
+        node = LocalNode(0, policy, fleet=fleet)
+        for x in (0.1, 0.5, 0.9, 0.2):
+            node.observe(np.array([x]))
+            assert fleet.policy_state[0] == policy.queue_length
+
+    def test_store_rejects_dims_disagreeing_with_fleet(self):
+        fleet = FleetState(5, 2)
+        with pytest.raises(SimulationError):
+            CentralStore(10, 2, fleet=fleet)
+        with pytest.raises(SimulationError):
+            CentralStore(5, 3, fleet=fleet)
+        store = CentralStore(5, 2, fleet=fleet)  # agreeing dims are fine
+        assert store.num_nodes == 5 and store.dimension == 2
+
+    def test_store_and_nodes_share_one_fleet(self):
+        fleet = FleetState(2, 1)
+        store = CentralStore(fleet=fleet)
+        node = LocalNode(0, UniformTransmissionPolicy(1.0), fleet=fleet)
+        node.observe(np.array([0.7]))
+        # The node's transmission is already the store's value: one array.
+        assert store.values[0, 0] == 0.7
+        np.testing.assert_array_equal(store.last_update, [0, -1])
+
+    def test_continuation_run_keeps_one_time_base(self):
+        # Heterogeneous policies force the object loop; across two runs
+        # the store and the node views must write last_update on the
+        # same (fleet) clock, so staleness stays meaningful.
+        def factory(i):
+            if i == 2:
+                return UniformTransmissionPolicy(0.05)  # mostly silent
+            return AdaptiveTransmissionPolicy(TransmissionConfig(budget=0.4))
+
+        rng = np.random.default_rng(3)
+        sim = CollectionSimulation(3, factory)
+        first = sim.run(rng.random((12, 3)))
+        second = sim.run(rng.random((12, 3)))
+        decisions = np.concatenate([first.decisions, second.decisions])
+        for i in range(3):
+            sent = np.flatnonzero(decisions[:, i])
+            assert sim.fleet.last_update[i] == sent[-1]
+        now = int(sim.fleet.times.max()) - 1
+        store = CentralStore(fleet=sim.fleet)
+        assert (store.staleness(now) >= 0).all()
+
+    def test_batched_collection_fills_columns(self):
+        trace = np.random.default_rng(1).random((30, 5))
+        sim = CollectionSimulation(
+            5,
+            lambda i: AdaptiveTransmissionPolicy(
+                TransmissionConfig(budget=0.3)
+            ),
+        )
+        result = sim.run(trace)
+        assert sim.fleet.dim == 1
+        np.testing.assert_array_equal(sim.fleet.times, np.full(5, 30))
+        np.testing.assert_array_equal(
+            sim.fleet.message_counts, result.decisions.sum(axis=0)
+        )
+        # Channel stats and fleet counters are the same memory.
+        assert sim.channel.stats.per_node_messages == {
+            i: int(c)
+            for i, c in enumerate(result.decisions.sum(axis=0))
+            if c
+        }
+        np.testing.assert_array_equal(
+            sim.fleet.policy_state,
+            [node.policy.queue_length for node in sim.nodes],
+        )
+
+
+class TestChannelEdgeCases:
+    def _measurement(self, node=0, time=0, dim=1):
+        return Measurement(node=node, time=time, value=np.zeros(dim))
+
+    def test_zero_message_slot(self):
+        channel = Channel()
+        assert channel.drain() == []
+        assert channel.pending == 0
+        assert channel.stats.messages == 0
+        assert channel.stats.payload_floats == 0
+        assert len(channel.stats.per_node_messages) == 0
+        assert dict(channel.stats.per_node_messages) == {}
+
+    def test_payload_bytes_custom_width(self):
+        channel = Channel()
+        channel.send(self._measurement(dim=3))
+        channel.send(self._measurement(node=1, dim=3))
+        assert channel.stats.payload_floats == 6
+        assert channel.stats.payload_bytes() == 48          # 8 bytes/float
+        assert channel.stats.payload_bytes(bytes_per_float=4) == 24
+        assert channel.stats.payload_bytes(bytes_per_float=2) == 12
+
+    def test_per_node_counts_after_silence(self):
+        channel = Channel()
+        for t in range(3):
+            channel.send(self._measurement(node=0, time=t))
+        channel.drain()
+        # Node 0 goes silent; node 1 speaks once.
+        channel.send(self._measurement(node=1, time=3))
+        channel.drain()
+        channel.drain()  # two silent slots for everyone
+        assert channel.stats.per_node_messages == {0: 3, 1: 1}
+        assert channel.stats.messages == 4
+
+    def test_per_node_view_mapping_semantics(self):
+        channel = Channel()
+        channel.send(self._measurement(node=2))
+        view = channel.stats.per_node_messages
+        assert isinstance(view, PerNodeMessages)
+        assert view[2] == 1
+        assert view.get(0) is None        # silent node: not a key
+        assert view.get(0, 0) == 0
+        with pytest.raises(KeyError):
+            view[0]
+        with pytest.raises(KeyError):
+            view[99]
+        assert list(view) == [2]
+        assert len(view) == 1
+        assert view == {2: 1}
+        assert view != {2: 2}
+        np.testing.assert_array_equal(view.as_array()[:3], [0, 0, 1])
+
+    def test_counters_advance_only_in_channel(self):
+        # The public counters are read-only: a second accounting site
+        # (the historical double-counting risk) is an AttributeError.
+        stats = Channel().stats
+        with pytest.raises(AttributeError):
+            stats.messages = 5
+        with pytest.raises(AttributeError):
+            stats.payload_floats = 5
+        with pytest.raises(AttributeError):
+            stats.per_node_messages = {}
+
+    def test_growable_counts_for_unbounded_node_ids(self):
+        channel = Channel()
+        channel.send(self._measurement(node=1000))
+        assert channel.stats.per_node_messages == {1000: 1}
+
+    def test_per_node_view_is_live_across_growth(self):
+        # Like the dict it replaces, the mapping is a live reference:
+        # counts sent after the view was taken — even ones that force
+        # the backing array to be reallocated — must show through it.
+        channel = Channel()
+        channel.send(self._measurement(node=0))
+        view = channel.stats.per_node_messages
+        channel.send(self._measurement(node=500))  # grows the array
+        channel.send(self._measurement(node=0))
+        assert view[500] == 1
+        assert view == {0: 2, 500: 1}
+
+    def test_fleet_backed_counts_reject_foreign_nodes(self):
+        fleet = FleetState(2, 1)
+        channel = Channel(node_counts=fleet.message_counts)
+        channel.send(self._measurement(node=1))
+        assert fleet.message_counts[1] == 1
+        with pytest.raises(SimulationError):
+            channel.send(self._measurement(node=2))
+
+    def test_record_batch_matches_per_message_sends(self):
+        loop = Channel()
+        for t in range(4):
+            loop.send(self._measurement(node=0, time=t, dim=2))
+        loop.send(self._measurement(node=2, time=0, dim=2))
+        batched = Channel()
+        batched.record_batch(np.array([4, 0, 1]), floats_per_message=2)
+        assert batched.stats.messages == loop.stats.messages
+        assert batched.stats.payload_floats == loop.stats.payload_floats
+        assert (
+            batched.stats.per_node_messages == loop.stats.per_node_messages
+        )
+
+    def test_from_node_counts_derives_consistent_totals(self):
+        counts = np.array([2, 0, 1], dtype=np.int64)
+        stats = TransportStats.from_node_counts(counts, floats_per_message=2)
+        assert stats.messages == 3
+        assert stats.payload_floats == 6
+        assert stats.payload_bytes() == 48
+        assert stats.per_node_messages == {0: 2, 2: 1}
+        # Adopted, not copied: the column and the stats stay one array.
+        counts[1] += 1  # (simulating the owner's channel counting)
+        assert stats.per_node_messages.get(1) == 1
+
+    def test_adopting_nonzero_counts_requires_payload_info(self):
+        # Without floats_per_message the payload would silently read 0
+        # while messages is non-zero — refuse the inconsistent state.
+        with pytest.raises(SimulationError):
+            TransportStats(node_counts=np.array([1], dtype=np.int64))
+        # A fresh (all-zero) column is fine: nothing to be inconsistent.
+        zeros = np.zeros(3, dtype=np.int64)
+        assert TransportStats(node_counts=zeros).messages == 0
