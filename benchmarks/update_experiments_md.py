@@ -278,6 +278,25 @@ ENTRIES = [
         "bit-identical to single-shard at every N.",
     ),
     (
+        "model_bank",
+        "Scaling — columnar ForecasterBank vs object-per-cluster "
+        "(extension)",
+        "(Not in the paper; model-layer counterpart of the FleetState "
+        "refactor.) Training one forecaster per cluster centroid and "
+        "re-forecasting every slot should not cost K·d Python calls: "
+        "batching every (cluster, dim) series of a resource group into "
+        "one structure-of-arrays bank must leave the numbers untouched "
+        "while removing the per-object loop from the train+forecast "
+        "stage.",
+        "Confirmed: the vectorized Yule–Walker bank (one batched "
+        "lag-matrix solve, one array op per forecast slot) is roughly "
+        "two orders of magnitude faster than the object path at the "
+        "largest configurations (~100x at K = 128, d = 4 on the "
+        "recorded run, far above the 5x acceptance bar), with "
+        "forecasts asserted bit-identical at every swept "
+        "configuration.",
+    ),
+    (
         "ablation_deadband",
         "Ablation — deadband (send-on-delta) vs Lyapunov (extension)",
         "(Validates Sec. II's argument.) Threshold-based adaptive "

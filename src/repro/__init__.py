@@ -8,9 +8,11 @@ Systems* (ICDCS 2019).  The library provides:
   each node's transmission frequency under a budget B (Sec. V-A);
 * dynamic K-means clustering with Hungarian-matching re-indexing so
   cluster identities persist over time (Sec. V-B);
-* per-cluster temporal forecasting (ARIMA / LSTM / sample-and-hold) with
-  majority-vote membership forecasting and α-clipped per-node offsets
-  (Sec. V-C);
+* per-cluster temporal forecasting (ARIMA / LSTM / sample-and-hold)
+  executed through columnar :mod:`forecaster banks
+  <repro.forecasting.bank>` — every cluster's model of a resource group
+  batched into one fit/update/forecast call — with majority-vote
+  membership forecasting and α-clipped per-node offsets (Sec. V-C);
 * the evaluation substrate: synthetic stand-ins for the Alibaba,
   Bitbrains, Google and Intel-lab traces, the Gaussian monitor-selection
   baselines of Silvestri et al. (ICDCS 2015), metrics, and one
@@ -50,16 +52,18 @@ from repro.exceptions import (
     ReproError,
     SimulationError,
 )
+from repro.forecasting.bank import ForecasterBank, ObjectBank
 from repro.registry import (
     COLLECTION_BACKENDS,
     FORECASTERS,
+    FORECASTER_BANKS,
     SIMILARITY_MEASURES,
     TRANSMISSION_POLICIES,
     Registry,
 )
 from repro.simulation.fleet import FleetState
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Engine",
@@ -72,9 +76,12 @@ __all__ = [
     "PipelineResult",
     "TransmissionConfig",
     "run_pipeline",
+    "ForecasterBank",
+    "ObjectBank",
     "Registry",
     "COLLECTION_BACKENDS",
     "FORECASTERS",
+    "FORECASTER_BANKS",
     "SIMILARITY_MEASURES",
     "TRANSMISSION_POLICIES",
     "ConfigurationError",

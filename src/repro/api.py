@@ -2,8 +2,9 @@
 
 :class:`Engine` is the single entry point to the paper's system.  It
 composes the registry-backed stages (collection backend, transmission
-policy, dynamic clustering, per-cluster forecasting) and subsumes the
-two historical entry points:
+policy, dynamic clustering, and the per-group forecaster banks that
+batch every cluster's model — see :mod:`repro.forecasting.bank`) and
+subsumes the two historical entry points:
 
 * **batch** — :meth:`Engine.run` drives a recorded trace through
   collection, clustering and forecasting and returns a
@@ -56,6 +57,7 @@ from repro.core.pipeline import (
     PipelineResult,
     StepOutput,
 )
+from repro.forecasting.bank import resolved_bank_name
 from repro.core.types import validate_trace
 from repro.exceptions import ConfigurationError, DataError
 from repro.registry import COLLECTION_BACKENDS, TRANSMISSION_POLICIES
@@ -126,6 +128,10 @@ class RunResult(PipelineResult):
             and ``total``.
         config: The resolved configuration the run used.
         collection: The collection-backend name the run used.
+        bank: How the model layer actually executed: a vectorized bank
+            name from :data:`repro.registry.FORECASTER_BANKS`, or
+            ``"object"`` for the per-cluster adapter (always the case
+            with a custom ``forecaster_factory``).
         fleet: Columnar :class:`~repro.simulation.fleet.FleetState`
             snapshot after the last slot — final stored values, clocks,
             last-transmit slots and per-node message counters.
@@ -136,6 +142,7 @@ class RunResult(PipelineResult):
     timings: Dict[str, float]
     config: PipelineConfig
     collection: str
+    bank: str = "object"
     fleet: Optional[FleetState] = None
     shards: int = 1
 
@@ -144,6 +151,7 @@ class RunResult(PipelineResult):
         lines = [
             f"collection={self.collection} "
             f"model={self.config.forecasting.model} "
+            f"bank={self.bank} "
             f"K={self.config.clustering.num_clusters}",
             f"transmission frequency: {self.decisions.mean():.3f} "
             f"(budget {self.config.transmission.budget})",
@@ -175,7 +183,11 @@ class Engine:
         policy_factory: Override ``policy`` with a custom per-node
             factory (receives the node id).
         forecaster_factory: Override the forecasting model construction;
-            receives ``(cluster_id, group_index)``.
+            receives ``(cluster_id, group_index)``.  A custom factory
+            always runs through the :class:`~repro.forecasting.bank.
+            ObjectBank` adapter; otherwise ``config.forecasting.bank``
+            selects how the model layer executes (vectorized bank vs
+            per-cluster objects — numerically identical either way).
     """
 
     def __init__(
@@ -551,6 +563,11 @@ class Engine:
             timings=timings,
             config=config,
             collection=self.collection,
+            bank=(
+                "object"
+                if self._forecaster_factory is not None
+                else resolved_bank_name(config.forecasting)
+            ),
             fleet=fleet,
             shards=shards,
         )

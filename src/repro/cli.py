@@ -27,6 +27,7 @@ from repro.experiments import EXPERIMENTS
 from repro.registry import (
     COLLECTION_BACKENDS,
     FORECASTERS,
+    FORECASTER_BANKS,
     SIMILARITY_MEASURES,
     TRANSMISSION_POLICIES,
 )
@@ -106,6 +107,7 @@ def _command_list() -> int:
     print("\ncomponents (registry -> names):")
     for label, registry in (
         ("forecasters", FORECASTERS),
+        ("forecaster banks", FORECASTER_BANKS),
         ("collection backends", COLLECTION_BACKENDS),
         ("transmission policies", TRANSMISSION_POLICIES),
         ("similarity measures", SIMILARITY_MEASURES),

@@ -112,6 +112,23 @@ class DynamicClusterTracker:
             return np.empty((0, self._dim if self._dim is not None else 1))
         return np.stack([c[cluster] for c in self._centroid_history])
 
+    def centroid_tensor(self) -> np.ndarray:
+        """Centroid series of every cluster at once, shape ``(t, K, d)``.
+
+        ``centroid_tensor()[:, j]`` equals :meth:`centroid_series`
+        ``(j)``; this is the batched form consumed by the forecaster
+        banks.  Before the first update the tensor is empty with a
+        consistent shape: ``(0, K, d)`` once the dimensionality is
+        known, ``(0, K, 1)`` otherwise.
+        """
+        if not self._centroid_history:
+            return np.empty((
+                0,
+                self.num_clusters,
+                self._dim if self._dim is not None else 1,
+            ))
+        return np.stack(self._centroid_history)
+
     def update(
         self,
         values: np.ndarray,

@@ -13,7 +13,12 @@ from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
-from repro.registry import FORECASTERS, SIMILARITY_MEASURES, closest
+from repro.registry import (
+    FORECASTERS,
+    FORECASTER_BANKS,
+    SIMILARITY_MEASURES,
+    closest,
+)
 
 
 @dataclass(frozen=True)
@@ -114,6 +119,19 @@ class ForecastingConfig:
             smoothing), ``"holt"``, ``"holt_winters"``, or ``"ar"``
             (Yule–Walker AR).  The paper evaluates the first three; the
             rest are the "etc." of Sec. V-C.
+        bank: How the per-cluster models are executed.  ``"auto"``
+            (default) runs the model through its vectorized
+            :class:`~repro.forecasting.bank.ForecasterBank` when one is
+            registered in :data:`repro.registry.FORECASTER_BANKS`
+            (``"sample_hold"``, ``"mean"``, ``"ses"``, ``"ar"``) and
+            through the per-object :class:`~repro.forecasting.bank.
+            ObjectBank` adapter otherwise; ``"object"`` forces the
+            adapter; naming the model itself (``bank == model``)
+            *requires* the vectorized path, failing loudly when the
+            model has no registered bank instead of falling back.  A
+            bank name that contradicts ``model`` is rejected, so bank
+            choice never changes the numbers — vectorized banks are
+            pinned bit-identical to the object path.
         membership_lookback: Look-back ``M'`` for forecasting cluster
             membership and computing per-node offsets (Eq. 12).
         initial_collection: Number of initial steps with no forecasting
@@ -133,6 +151,7 @@ class ForecastingConfig:
     """
 
     model: str = "sample_hold"
+    bank: str = "auto"
     membership_lookback: int = 5
     initial_collection: int = 1000
     retrain_interval: int = 288
@@ -154,6 +173,24 @@ class ForecastingConfig:
     def __post_init__(self) -> None:
         if self.model not in FORECASTERS:
             raise ConfigurationError(FORECASTERS.unknown_message(self.model))
+        if self.bank not in ("auto", "object"):
+            # The bank selects an execution path for the configured
+            # model, never a different model: the only explicit name
+            # allowed is the model's own (requiring its vectorized
+            # bank), so bank choice cannot change the numbers.
+            if self.bank != self.model:
+                raise ConfigurationError(
+                    f"bank {self.bank!r} contradicts model "
+                    f"{self.model!r}; use 'auto', 'object', or "
+                    f"{self.model!r} to require its vectorized bank"
+                )
+            if self.bank not in FORECASTER_BANKS:
+                raise ConfigurationError(
+                    f"model {self.model!r} has no vectorized forecaster "
+                    f"bank; available: "
+                    f"{', '.join(FORECASTER_BANKS.available())} "
+                    f"(use bank='auto' or 'object')"
+                )
         if self.membership_lookback < 1:
             raise ConfigurationError(
                 f"membership_lookback (M') must be >= 1, got "

@@ -8,9 +8,10 @@ Per time slot the pipeline:
    resource type independently on scalar values (Table I's winner) —
    re-indexing clusters against history so centroid time series are
    coherent;
-3. once the initial collection phase has passed, trains/updates one
-   forecasting model per cluster (per resource), forecasts centroids
-   ``ĉ_{j,t+h}``, forecasts memberships by majority vote over
+3. once the initial collection phase has passed, trains/updates the
+   per-group :class:`~repro.forecasting.bank.ForecasterBank` — every
+   cluster's model of a resource group in one batched call — forecasts
+   centroids ``ĉ_{j,t+h}``, forecasts memberships by majority vote over
    ``[t − M', t]``, computes α-clipped per-node offsets (Eq. 12), and
    emits per-node forecasts ``x̂_{i,t+h} = ĉ_{j,t+h} + ŝ_{i,t+h}``.
 
@@ -23,8 +24,8 @@ from __future__ import annotations
 
 import logging
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,32 +35,17 @@ from repro.core.ring import SlotRing
 from repro.core.types import ClusterAssignment
 from repro.clustering.dynamic import DynamicClusterTracker
 from repro.exceptions import ConfigurationError, DataError, ReproError
+from repro.forecasting.bank import (
+    BankForecastError,
+    ForecasterBank,
+    ForecasterFactory,
+    default_forecaster_factory,
+    resolve_bank,
+)
 from repro.forecasting.membership import forecast_membership
 from repro.forecasting.offsets import estimate_offsets
-from repro.registry import FORECASTERS
 
 logger = logging.getLogger(__name__)
-
-#: A forecaster factory receives ``(cluster_id, group_index)`` — the
-#: persistent cluster id and the index of the resource group being
-#: forecast (one group per resource under scalar clustering, a single
-#: group 0 under joint clustering) — and returns a fresh, unfitted
-#: forecaster.
-ForecasterFactory = Callable[[int, int], object]
-
-
-def default_forecaster_factory(config: ForecastingConfig) -> ForecasterFactory:
-    """Build the registry-backed factory implied by a ForecastingConfig.
-
-    The returned factory receives ``(cluster, group)`` and delegates to
-    the builder registered under ``config.model`` in
-    :data:`repro.registry.FORECASTERS`.
-    """
-
-    def factory(cluster: int, group: int) -> object:
-        return FORECASTERS.create(config.model, config, cluster, group)
-
-    return factory
 
 
 @dataclass
@@ -129,12 +115,19 @@ class OnlinePipeline:
             )
             for g in range(len(self._groups))
         ]
-        factory = forecaster_factory or default_forecaster_factory(
-            config.forecasting
-        )
-        self._forecasters: List[List[object]] = [
-            [factory(j, g) for j in range(clustering.num_clusters)]
-            for g in range(len(self._groups))
+        # One bank per resource group: the whole model layer of a group
+        # — every (cluster, dim) series — fits, updates and forecasts
+        # as a single batched call (ObjectBank adapts per-cluster
+        # forecasters when no vectorized bank exists for the model).
+        self._banks: List[ForecasterBank] = [
+            resolve_bank(
+                config.forecasting,
+                num_clusters=clustering.num_clusters,
+                dim=len(group),
+                group=g,
+                factory=forecaster_factory,
+            )
+            for g, group in enumerate(self._groups)
         ]
         # Only the last M'+1 slots feed the membership forecast and the
         # offset estimation, so these rolling windows are bounded at
@@ -174,6 +167,10 @@ class OnlinePipeline:
     def tracker(self, group: int) -> DynamicClusterTracker:
         """Access the dynamic tracker of one resource group."""
         return self._trackers[group]
+
+    def bank(self, group: int) -> ForecasterBank:
+        """Access the forecaster bank of one resource group."""
+        return self._banks[group]
 
     def _should_train(self) -> bool:
         forecasting = self.config.forecasting
@@ -237,42 +234,15 @@ class OnlinePipeline:
     # ------------------------------------------------------------------
 
     def _train_models(self) -> None:
-        clustering = self.config.clustering
-        # One forecaster per (group, cluster); multivariate groups are
-        # handled by fitting one scalar model per centroid dimension.
+        # One batched fit per group: the bank consumes the whole
+        # (t, K, d) centroid tensor at once.
         for g in range(self.num_groups):
-            dim = len(self._groups[g])
-            for j in range(clustering.num_clusters):
-                series = self._trackers[g].centroid_series(j)
-                forecaster = self._forecasters[g][j]
-                if dim == 1:
-                    forecaster.fit(series[:, 0])
-                else:
-                    if not isinstance(forecaster, _MultivariateForecaster):
-                        forecaster = _MultivariateForecaster(
-                            forecaster, self._rebuild_factory(g, j), dim
-                        )
-                        self._forecasters[g][j] = forecaster
-                    forecaster.fit_matrix(series)
+            self._banks[g].fit(self._trackers[g].centroid_tensor())
         self._last_train = self._time
-
-    def _rebuild_factory(self, group: int, cluster: int):
-        factory = default_forecaster_factory(self.config.forecasting)
-
-        def build() -> object:
-            return factory(cluster, group)
-
-        return build
 
     def _update_models(self, assignments: Sequence[ClusterAssignment]) -> None:
         for g, assignment in enumerate(assignments):
-            for j in range(self.config.clustering.num_clusters):
-                forecaster = self._forecasters[g][j]
-                centroid = assignment.centroids[j]
-                if isinstance(forecaster, _MultivariateForecaster):
-                    forecaster.update_vector(centroid)
-                else:
-                    forecaster.update(float(centroid[0]))
+            self._banks[g].update(assignment.centroids)
 
     def _forecast_into(
         self, output: StepOutput, assignments: Sequence[ClusterAssignment]
@@ -293,23 +263,29 @@ class OnlinePipeline:
         memberships_all = np.zeros((self.num_groups, self.num_nodes), dtype=int)
 
         for g, group in enumerate(self._groups):
-            # Forecast centroids for every cluster in this group.
-            per_cluster = np.zeros(
-                (horizon, clustering.num_clusters, len(group))
-            )
-            for j in range(clustering.num_clusters):
-                forecaster = self._forecasters[g][j]
-                try:
-                    if isinstance(forecaster, _MultivariateForecaster):
-                        per_cluster[:, j, :] = forecaster.forecast_matrix(horizon)
-                    else:
-                        per_cluster[:, j, 0] = forecaster.forecast(horizon)
-                except ReproError as exc:
+            # Forecast all clusters of this group in one bank call.
+            # Failed clusters fall back to holding their last centroid:
+            # per cluster when the bank reports partial failure, for
+            # the whole group when the bank fails outright.
+            try:
+                per_cluster = self._banks[g].forecast(horizon)
+            except BankForecastError as exc:
+                per_cluster = exc.forecasts
+                for j in sorted(exc.failures):
                     logger.warning(
                         "forecast failed for group %d cluster %d: %s; "
-                        "holding last centroid", g, j, exc,
+                        "holding last centroid", g, j, exc.failures[j],
                     )
                     per_cluster[:, j, :] = assignments[g].centroids[j]
+            except ReproError as exc:
+                logger.warning(
+                    "forecast failed for group %d: %s; "
+                    "holding last centroids", g, exc,
+                )
+                per_cluster = np.broadcast_to(
+                    assignments[g].centroids,
+                    (horizon, clustering.num_clusters, len(group)),
+                ).copy()
 
             memberships = forecast_membership(
                 list(self._label_history[g]), lookback
@@ -336,33 +312,6 @@ class OnlinePipeline:
         output.node_forecasts = node_forecasts
         output.centroid_forecasts = centroid_forecasts
         output.memberships = memberships_all
-
-
-class _MultivariateForecaster:
-    """Wraps scalar forecasters to handle multi-dimensional centroids.
-
-    Used only under joint (non-scalar) clustering, where the centroid of
-    a cluster is a d-vector: one scalar forecaster is fitted per
-    dimension.
-    """
-
-    def __init__(self, first: object, build: Callable[[], object], dim: int) -> None:
-        self._models = [first] + [build() for _ in range(dim - 1)]
-        self.dim = dim
-
-    def fit_matrix(self, series: np.ndarray) -> None:
-        for r, model in enumerate(self._models):
-            model.fit(series[:, r])
-
-    def update_vector(self, value: np.ndarray) -> None:
-        for r, model in enumerate(self._models):
-            model.update(float(value[r]))
-
-    def forecast_matrix(self, horizon: int) -> np.ndarray:
-        out = np.zeros((horizon, self.dim))
-        for r, model in enumerate(self._models):
-            out[:, r] = model.forecast(horizon)
-        return out
 
 
 @dataclass

@@ -8,16 +8,41 @@ from repro.forecasting.arima import (
     grid_search,
 )
 from repro.forecasting.base import Forecaster
+from repro.forecasting.bank import (
+    BankForecastError,
+    ExponentialBank,
+    ForecasterBank,
+    ForecasterFactory,
+    MeanBank,
+    ObjectBank,
+    SampleHoldBank,
+    YuleWalkerBank,
+    default_forecaster_factory,
+    resolve_bank,
+    resolved_bank_name,
+)
 from repro.forecasting.exponential import (
     HoltLinear,
     HoltWinters,
     SimpleExponentialSmoothing,
+    ewma_run,
+    fit_ses_alpha,
 )
-from repro.forecasting.yule_walker import YuleWalkerAR, fit_yule_walker
+from repro.forecasting.yule_walker import (
+    YuleWalkerAR,
+    ar_forecast_batch,
+    fit_yule_walker,
+    fit_yule_walker_batch,
+)
 from repro.forecasting.lstm import LstmForecaster, StackedLSTMNetwork
 from repro.forecasting.membership import forecast_membership, membership_stability
 from repro.forecasting.offsets import alpha_clip, estimate_offsets
-from repro.forecasting.sample_hold import MeanForecaster, SampleHoldForecaster
+from repro.forecasting.sample_hold import (
+    MeanForecaster,
+    SampleHoldForecaster,
+    hold_forecast,
+    running_mean,
+)
 from repro.forecasting.stattools import (
     acf,
     aicc,
@@ -35,11 +60,28 @@ __all__ = [
     "candidate_orders",
     "grid_search",
     "Forecaster",
+    "BankForecastError",
+    "ExponentialBank",
+    "ForecasterBank",
+    "ForecasterFactory",
+    "MeanBank",
+    "ObjectBank",
+    "SampleHoldBank",
+    "YuleWalkerBank",
+    "default_forecaster_factory",
+    "resolve_bank",
+    "resolved_bank_name",
     "HoltLinear",
     "HoltWinters",
     "SimpleExponentialSmoothing",
+    "ewma_run",
+    "fit_ses_alpha",
+    "hold_forecast",
+    "running_mean",
     "YuleWalkerAR",
+    "ar_forecast_batch",
     "fit_yule_walker",
+    "fit_yule_walker_batch",
     "LstmForecaster",
     "StackedLSTMNetwork",
     "forecast_membership",

@@ -11,11 +11,17 @@ family, which sits between sample-and-hold and ARIMA in cost:
 
 Smoothing parameters are fitted by minimizing the in-sample one-step
 sum of squared errors with L-BFGS-B.
+
+The EWMA level recurrence is exposed as the batched kernel
+:func:`ewma_run` (and the fitted weight as :func:`fit_ses_alpha`),
+shared between :class:`SimpleExponentialSmoothing` and the
+:class:`~repro.forecasting.bank.ExponentialBank`, so a bank over
+``S = K·d`` series is bit-identical to a loop of ``S`` scalar models.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 from scipy import optimize
@@ -23,6 +29,49 @@ from scipy import optimize
 from repro.exceptions import ConfigurationError, DataError
 from repro.forecasting.base import Forecaster
 from repro.registry import register_forecaster
+
+
+def ewma_run(
+    series: np.ndarray, alpha: Union[float, np.ndarray]
+) -> np.ndarray:
+    """Final EWMA level of ``S`` series run in lockstep.
+
+    Iterates ``l_t = α·y_t + (1−α)·l_{t−1}`` from ``l_0 = y_0`` over
+    every column at once; element-wise ops keep each column's
+    arithmetic identical to a scalar run of that column.
+
+    Args:
+        series: Observations, shape ``(T, S)`` — one series per column.
+        alpha: Smoothing weight(s): a scalar or shape ``(S,)``.
+
+    Returns:
+        The level after the last observation, shape ``(S,)``.
+    """
+    x = np.asarray(series, dtype=float)
+    if x.ndim != 2:
+        raise DataError(f"series batch must be (T, S), got shape {x.shape}")
+    if x.shape[0] == 0:
+        raise DataError("series is empty")
+    level = x[0].copy()
+    for t in range(1, x.shape[0]):
+        level = alpha * x[t] + (1.0 - alpha) * level
+    return level
+
+
+def fit_ses_alpha(series: np.ndarray) -> float:
+    """The SES weight minimizing the in-sample one-step SSE (1-D input).
+
+    The bounded scalar optimization is inherently per-series (each
+    series has its own objective landscape), so banks call this once
+    per column; the level recurrence itself is batched in
+    :func:`ewma_run`.
+    """
+    result = optimize.minimize_scalar(
+        lambda a: SimpleExponentialSmoothing._sse(a, series),
+        bounds=(1e-4, 1.0),
+        method="bounded",
+    )
+    return float(result.x)
 
 
 class SimpleExponentialSmoothing(Forecaster):
@@ -52,15 +101,8 @@ class SimpleExponentialSmoothing(Forecaster):
 
     def _fit(self, series: np.ndarray) -> None:
         if self._fixed_alpha is None and series.size >= 3:
-            result = optimize.minimize_scalar(
-                lambda a: self._sse(a, series),
-                bounds=(1e-4, 1.0),
-                method="bounded",
-            )
-            self.alpha = float(result.x)
-        self._level = series[0]
-        for value in series[1:]:
-            self._level = self.alpha * value + (1.0 - self.alpha) * self._level
+            self.alpha = fit_ses_alpha(series)
+        self._level = ewma_run(series[:, np.newaxis], self.alpha)[0]
 
     def _update(self, value: float) -> None:
         if self.is_fitted:

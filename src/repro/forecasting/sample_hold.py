@@ -3,14 +3,50 @@
 The simplest possible predictor: the forecast for every future step is
 the most recent observation.  The paper uses it both as a baseline and as
 the default forecaster for parameter studies (Tables III, Figs. 10–11),
-noting it is cheap enough to run per node (K = N)."""
+noting it is cheap enough to run per node (K = N).
+
+The hold/mean computations are exposed as the batched kernels
+:func:`hold_forecast` and :func:`running_mean`, shared between the
+scalar classes and the banks in :mod:`repro.forecasting.bank`.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.exceptions import DataError
 from repro.forecasting.base import Forecaster
 from repro.registry import register_forecaster
+
+
+def hold_forecast(last: np.ndarray, horizon: int) -> np.ndarray:
+    """Repeat the latest value of ``S`` series over the horizon.
+
+    Args:
+        last: Latest observation per series, shape ``(S,)``.
+        horizon: Steps ahead H >= 1.
+
+    Returns:
+        Forecasts, shape ``(H, S)``.
+    """
+    values = np.asarray(last, dtype=float)
+    if values.ndim != 1:
+        raise DataError(f"last must be (S,), got shape {values.shape}")
+    return np.tile(values, (horizon, 1))
+
+
+def running_mean(history: np.ndarray) -> np.ndarray:
+    """Mean over time of ``S`` series, shape ``(T, S)`` → ``(S,)``.
+
+    The contiguous per-series layout keeps each column's reduction
+    bit-identical to a 1-D ``np.mean`` of that column.
+    """
+    x = np.asarray(history, dtype=float)
+    if x.ndim != 2:
+        raise DataError(f"history batch must be (T, S), got shape {x.shape}")
+    if x.shape[0] == 0:
+        raise DataError("history is empty")
+    return np.ascontiguousarray(x.T).mean(axis=1)
 
 
 class SampleHoldForecaster(Forecaster):
@@ -22,7 +58,7 @@ class SampleHoldForecaster(Forecaster):
 
     def _forecast(self, horizon: int) -> np.ndarray:
         last = self.history[-1]
-        return np.full(horizon, float(last))
+        return hold_forecast(np.asarray([float(last)]), horizon)[:, 0]
 
 
 class MeanForecaster(Forecaster):
@@ -37,14 +73,14 @@ class MeanForecaster(Forecaster):
         self._mean = 0.0
 
     def _fit(self, series: np.ndarray) -> None:
-        self._mean = float(series.mean())
+        self._mean = float(running_mean(series[:, np.newaxis])[0])
 
     def _update(self, value: float) -> None:
         # Keep the running mean consistent with the full history.
-        self._mean = float(np.mean(self._history))
+        self._mean = float(running_mean(self.history[:, np.newaxis])[0])
 
     def _forecast(self, horizon: int) -> np.ndarray:
-        return np.full(horizon, self._mean)
+        return hold_forecast(np.asarray([self._mean]), horizon)[:, 0]
 
 
 @register_forecaster("sample_hold")

@@ -9,6 +9,10 @@ them, so adding a backend never means editing the engine:
 * :data:`FORECASTERS` — builders ``(config, cluster, group) ->
   Forecaster`` keyed by ``ForecastingConfig.model`` names
   (``"arima"``, ``"lstm"``, ``"sample_hold"``, …);
+* :data:`FORECASTER_BANKS` — builders ``(config, num_clusters, dim) ->
+  ForecasterBank`` vectorizing all of a group's per-cluster models at
+  once (``"sample_hold"``, ``"mean"``, ``"ses"``, ``"ar"``); models
+  without an entry fall back to the ``ObjectBank`` adapter;
 * :data:`TRANSMISSION_POLICIES` — builders ``(transmission_config,
   node_id) -> TransmissionPolicy`` (``"adaptive"``, ``"uniform"``,
   ``"deadband"``);
@@ -164,6 +168,15 @@ class Registry:
 #: ``ForecastingConfig.model`` name → builder ``(config, cluster, group)``.
 FORECASTERS = Registry("forecaster", modules=("repro.forecasting",))
 
+#: Bank name → builder ``(forecasting_config, num_clusters, dim)``
+#: returning a :class:`~repro.forecasting.bank.ForecasterBank`.  Keyed
+#: by the forecaster model names they accelerate; models without an
+#: entry run through the :class:`~repro.forecasting.bank.ObjectBank`
+#: adapter (see :func:`~repro.forecasting.bank.resolve_bank`).
+FORECASTER_BANKS = Registry(
+    "forecaster bank", modules=("repro.forecasting.bank",)
+)
+
 #: Policy name → builder ``(transmission_config, node_id)``.
 TRANSMISSION_POLICIES = Registry(
     "transmission policy", modules=("repro.transmission",)
@@ -189,6 +202,18 @@ def register_forecaster(name: str, *, override: bool = False):
     the resource-group index — and returns a fresh, unfitted forecaster.
     """
     return FORECASTERS.register(name, override=override)
+
+
+def register_forecaster_bank(name: str, *, override: bool = False):
+    """Decorator registering a vectorized forecaster-bank builder.
+
+    The builder receives ``(forecasting_config, num_clusters, dim)`` and
+    returns a fresh :class:`~repro.forecasting.bank.ForecasterBank`
+    covering all ``num_clusters × dim`` series of one resource group.
+    Register under the forecaster model name the bank accelerates so
+    ``ForecastingConfig(bank="auto")`` picks it up.
+    """
+    return FORECASTER_BANKS.register(name, override=override)
 
 
 def register_transmission_policy(name: str, *, override: bool = False):
@@ -218,10 +243,12 @@ __all__ = [
     "Registry",
     "closest",
     "FORECASTERS",
+    "FORECASTER_BANKS",
     "TRANSMISSION_POLICIES",
     "COLLECTION_BACKENDS",
     "SIMILARITY_MEASURES",
     "register_forecaster",
+    "register_forecaster_bank",
     "register_transmission_policy",
     "register_collection_backend",
     "register_similarity",
