@@ -35,6 +35,7 @@ a JSON file path, so deployments are constructible from plain data.
 """
 
 from repro.api import Engine, RunResult
+from repro.checkpoint import CHECKPOINT_FORMAT_VERSION, Checkpoint
 from repro.core import (
     ClusteringConfig,
     ForecastingConfig,
@@ -45,6 +46,7 @@ from repro.core import (
     run_pipeline,
 )
 from repro.exceptions import (
+    CheckpointError,
     ConfigurationError,
     ConvergenceError,
     DataError,
@@ -61,14 +63,18 @@ from repro.registry import (
     TRANSMISSION_POLICIES,
     Registry,
 )
+from repro.session import StreamSession
 from repro.simulation.fleet import FleetState
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Engine",
     "FleetState",
     "RunResult",
+    "StreamSession",
+    "Checkpoint",
+    "CHECKPOINT_FORMAT_VERSION",
     "ClusteringConfig",
     "ForecastingConfig",
     "OnlinePipeline",
@@ -84,6 +90,7 @@ __all__ = [
     "FORECASTER_BANKS",
     "SIMILARITY_MEASURES",
     "TRANSMISSION_POLICIES",
+    "CheckpointError",
     "ConfigurationError",
     "ConvergenceError",
     "DataError",

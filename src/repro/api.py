@@ -15,10 +15,16 @@ subsumes the two historical entry points:
   stage (optionally across a process pool) and merges them into one
   columnar :class:`~repro.simulation.fleet.FleetState` — bit-identical
   to the single-shard run;
-* **streaming** — :meth:`Engine.step` advances a live deployment by one
-  slot: per-node transmission policies, the transport channel, the
-  central store's staleness rule, then clustering + forecasting (what
-  ``MonitoringSystem.tick`` did).
+* **streaming** — :meth:`Engine.session` opens a long-lived, stateful
+  :class:`~repro.session.StreamSession` with partial ingestion, a
+  bounded late-arrival reorder window, on-demand forecasts and
+  checkpoint/resume (:meth:`StreamSession.snapshot
+  <repro.session.StreamSession.snapshot>` /
+  :meth:`Engine.resume`).  :meth:`Engine.step` remains as a thin
+  compatibility shim over a lazily created default session, advancing
+  it one full slot at a time (what ``MonitoringSystem.tick`` did) —
+  but the per-slot hot path now runs the batched slot kernels, not a
+  per-node object loop.
 
 Engines are constructible from plain data — a :class:`~repro.core.
 config.PipelineConfig`, its :meth:`~repro.core.config.PipelineConfig.
@@ -33,7 +39,11 @@ files all share one wiring path::
     print(result.rmse_by_horizon, result.timings)
 
     engine = Engine.from_config(config, num_nodes=50, num_resources=1)
-    output = engine.step(x_t)                   # streaming, one slot
+    session = engine.session()                  # streaming
+    output = session.ingest(x_t)                # one (full) slot
+    session.ingest(x_late, node_ids=[3, 9])    # a partial slot
+    session.save("state.ckpt")                  # durable checkpoint
+    session = Engine.from_config(config).resume("state.ckpt")
 """
 
 from __future__ import annotations
@@ -45,10 +55,11 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.checkpoint import Checkpoint, as_checkpoint, config_mismatch
 from repro.core.config import PipelineConfig, TransmissionConfig
 from repro.core.metrics import instantaneous_rmse_batch
 from repro.core.pipeline import (
@@ -59,8 +70,9 @@ from repro.core.pipeline import (
 )
 from repro.forecasting.bank import resolved_bank_name
 from repro.core.types import validate_trace
-from repro.exceptions import ConfigurationError, DataError
+from repro.exceptions import CheckpointError, ConfigurationError, DataError
 from repro.registry import COLLECTION_BACKENDS, TRANSMISSION_POLICIES
+from repro.session import PolicyFactory, StreamSession
 from repro.simulation.collection import CollectionResult
 from repro.simulation.controller import CentralStore
 from repro.simulation.fleet import (
@@ -70,10 +82,6 @@ from repro.simulation.fleet import (
 )
 from repro.simulation.node import LocalNode
 from repro.simulation.transport import Channel, TransportStats
-from repro.transmission.base import TransmissionPolicy
-
-#: A per-node policy factory receives the node id.
-PolicyFactory = Callable[[int], TransmissionPolicy]
 
 
 def _shard_aware_kwargs(backend, node_offset: int, total_nodes: int) -> dict:
@@ -210,29 +218,23 @@ class Engine:
         self.collection = collection
         # Fail fast, with close-match suggestions, on unknown names.
         COLLECTION_BACKENDS.get(collection)
+        self.policy: Optional[str] = None if policy_factory else policy
         if policy_factory is None:
-            builder = TRANSMISSION_POLICIES.get(policy)
-
-            def policy_factory(node_id: int) -> TransmissionPolicy:
-                return builder(config.transmission, node_id)
-
-        self._policy_factory: PolicyFactory = policy_factory
+            TRANSMISSION_POLICIES.get(policy)
+        self._policy_factory = policy_factory
         self._forecaster_factory = forecaster_factory
 
-        # Streaming state (one live deployment per engine), all views
-        # over one columnar FleetState.
-        self.fleet: Optional[FleetState] = None
-        self.nodes: List[LocalNode] = []
-        self.channel: Optional[Channel] = None
-        self.store: Optional[CentralStore] = None
-        self.pipeline: Optional[OnlinePipeline] = None
-        self._stream_time = 0
+        # Streaming state: Engine.step drives one lazily created
+        # default StreamSession (Engine.session opens independent ones).
+        self._session: Optional[StreamSession] = None
+        self._stream_dims: Optional[Tuple[int, int]] = None
         if (num_nodes is None) != (num_resources is None):
             raise ConfigurationError(
                 "pass num_nodes and num_resources together (or neither)"
             )
         if num_nodes is not None and num_resources is not None:
-            self._build_streaming(num_nodes, num_resources)
+            self._stream_dims = (num_nodes, num_resources)
+            self._session = self.session(num_nodes, num_resources)
 
     @classmethod
     def from_config(
@@ -267,82 +269,235 @@ class Engine:
     # Streaming mode
     # ------------------------------------------------------------------
 
-    def _build_streaming(self, num_nodes: int, num_resources: int) -> None:
-        if num_nodes < 1 or num_resources < 1:
+    def session(
+        self,
+        num_nodes: Optional[int] = None,
+        num_resources: Optional[int] = None,
+        *,
+        reorder_window: int = 0,
+        vectorized: Optional[bool] = None,
+    ) -> StreamSession:
+        """Open a new long-lived :class:`~repro.session.StreamSession`.
+
+        Every call creates an independent deployment (own fleet state,
+        transport counters, clustering history and forecaster banks)
+        wired with this engine's config, policy and factories.
+
+        Args:
+            num_nodes: Fleet size; defaults to the engine's streaming
+                dimensions when it was built with them.
+            num_resources: Resource dimensionality; same default rule.
+            reorder_window: Late-arrival tolerance in slots (see
+                :meth:`StreamSession.ingest
+                <repro.session.StreamSession.ingest>`).
+            vectorized: Force the slot path (kernel vs object loop);
+                default picks the batched kernel when the policy has
+                one.
+        """
+        if num_nodes is None and num_resources is None:
+            if self._stream_dims is None:
+                raise ConfigurationError(
+                    "pass num_nodes and num_resources (the engine was "
+                    "built without streaming dimensions)"
+                )
+            num_nodes, num_resources = self._stream_dims
+        if num_nodes is None or num_resources is None:
             raise ConfigurationError(
-                "num_nodes and num_resources must be >= 1"
+                "pass num_nodes and num_resources together"
             )
-        self.fleet = FleetState(num_nodes, num_resources)
-        self.channel = Channel(node_counts=self.fleet.message_counts)
-        self.store = CentralStore(fleet=self.fleet)
-        self.nodes = [
-            self.fleet.node_view(i, self._policy_factory(i))
-            for i in range(num_nodes)
-        ]
-        self.pipeline = OnlinePipeline(
+        return StreamSession(
+            self.config,
             num_nodes,
             num_resources,
-            self.config,
+            policy=self.policy or "adaptive",
+            policy_factory=self._policy_factory,
             forecaster_factory=self._forecaster_factory,
+            reorder_window=reorder_window,
+            vectorized=vectorized,
         )
+
+    def resume(
+        self, source: Union[Checkpoint, str, Path]
+    ) -> StreamSession:
+        """Reconstruct a session from a checkpoint, bit-identically.
+
+        The resumed session continues exactly as the snapshotted one
+        would have — forecasts, cluster assignments and transport
+        counters match an uninterrupted run bit for bit.  It also
+        becomes this engine's default session, so :meth:`step` carries
+        on from the checkpoint.
+
+        Args:
+            source: A :class:`~repro.checkpoint.Checkpoint` or a path
+                to one saved with ``save``.
+
+        Raises:
+            CheckpointError: On format-version mismatch (raised by
+                :meth:`Checkpoint.load <repro.checkpoint.Checkpoint.
+                load>`), configuration mismatch, or missing custom
+                factories.
+        """
+        checkpoint = as_checkpoint(source)
+        diffs = config_mismatch(checkpoint.config, self.config.to_dict())
+        if diffs:
+            detail = "; ".join(
+                f"{path}: checkpoint={a!r} engine={b!r}"
+                for path, a, b in diffs[:5]
+            )
+            raise CheckpointError(
+                f"checkpoint configuration disagrees with the engine's "
+                f"({detail}); build the engine from the checkpoint's "
+                "config (Engine.from_checkpoint) or match the configs"
+            )
+        meta = checkpoint.session
+        if bool(meta["custom_policy_factory"]) != (
+            self._policy_factory is not None
+        ):
+            raise CheckpointError(
+                "checkpoint and engine disagree about a custom "
+                "policy_factory; resume with an engine carrying the "
+                "same factory the session was built with"
+            )
+        if meta["custom_forecaster_factory"] and (
+            self._forecaster_factory is None
+        ):
+            raise CheckpointError(
+                "checkpoint was taken with a custom forecaster_factory; "
+                "resume with an engine carrying that factory"
+            )
+        if not meta["custom_policy_factory"] and meta["policy"] != self.policy:
+            raise CheckpointError(
+                f"checkpoint used transmission policy {meta['policy']!r}, "
+                f"engine is configured for {self.policy!r}"
+            )
+        session = self.session(
+            int(meta["num_nodes"]),
+            int(meta["num_resources"]),
+            reorder_window=int(meta["reorder_window"]),
+            vectorized=bool(meta["vectorized"]),
+        )
+        session.restore(checkpoint)
+        self._session = session
+        self._stream_dims = (session.num_nodes, session.num_resources)
+        return session
+
+    @classmethod
+    def from_checkpoint(
+        cls, source: Union[Checkpoint, str, Path], **kwargs
+    ) -> "Engine":
+        """Build an engine *from* a checkpoint and resume its session.
+
+        The engine adopts the checkpoint's resolved config and policy;
+        ``kwargs`` are forwarded to the constructor (e.g.
+        ``collection``).  Checkpoints taken with custom factories
+        cannot be rebuilt this way — construct the engine with the
+        factories and call :meth:`resume`.
+        """
+        checkpoint = as_checkpoint(source)
+        meta = checkpoint.session
+        if meta["custom_policy_factory"] or meta["custom_forecaster_factory"]:
+            raise CheckpointError(
+                "checkpoint was taken with custom factories; build the "
+                "engine with them and call Engine.resume instead"
+            )
+        engine = cls.from_config(
+            checkpoint.config, policy=meta["policy"], **kwargs
+        )
+        engine.resume(checkpoint)
+        return engine
+
+    # -- default-session views (Engine.step compatibility) -------------
+
+    @property
+    def fleet(self) -> Optional[FleetState]:
+        """The default session's columnar fleet state (None before one
+        exists)."""
+        return None if self._session is None else self._session.fleet
+
+    @property
+    def nodes(self) -> List[LocalNode]:
+        """The default session's per-node views (empty before one
+        exists).
+
+        Under the vectorized slot path (the default for registered
+        policies) the views' *policy objects* are construction-time
+        artifacts: their per-object decision histories and counters do
+        not advance — the authoritative per-node policy state is the
+        fleet's ``policy_state`` column, and frequency accounting lives
+        in :attr:`transport_stats` / :attr:`empirical_frequency`.
+        """
+        return [] if self._session is None else self._session.nodes
+
+    @property
+    def channel(self) -> Optional[Channel]:
+        return None if self._session is None else self._session.channel
+
+    @property
+    def store(self) -> Optional[CentralStore]:
+        return None if self._session is None else self._session.store
+
+    @property
+    def pipeline(self) -> Optional[OnlinePipeline]:
+        return None if self._session is None else self._session.pipeline
 
     @property
     def time(self) -> int:
         """Number of streaming slots processed."""
-        return self._stream_time
+        return 0 if self._session is None else self._session.time
 
     @property
     def transport_stats(self) -> TransportStats:
         """Cumulative streaming message/byte counters."""
-        if self.channel is None:
+        if self._session is None:
             return TransportStats()
-        return self.channel.stats
+        return self._session.transport_stats
 
     @property
     def empirical_frequency(self) -> float:
         """Fleet-average streaming transmission frequency so far."""
-        if self._stream_time == 0 or not self.nodes:
+        if self._session is None:
             return 0.0
-        return self.transport_stats.messages / (
-            self._stream_time * len(self.nodes)
-        )
+        return self._session.empirical_frequency
 
     def step(self, measurements: np.ndarray) -> StepOutput:
-        """Advance the streaming deployment by one time slot.
+        """Advance the default streaming session by one full slot.
 
-        Every node's transmission policy sees the fresh measurement, the
-        channel delivers, the central store applies the staleness rule,
-        and the pipeline clusters + forecasts the stored values.
+        A thin compatibility shim over :meth:`session` /
+        :meth:`StreamSession.ingest
+        <repro.session.StreamSession.ingest>`: the first call creates
+        the default session (inferring ``N`` and ``d`` from the
+        measurement shape when the engine was built without them), and
+        each call ingests one full slot.  The slot itself runs the
+        batched transmission slot kernels — bit-identical to the
+        historical per-node object loop, at a fraction of the cost.
+        One behavioral difference from the historical loop: the
+        per-node *policy objects* reachable via :attr:`nodes` no longer
+        advance their own decision histories (see :attr:`nodes`); use
+        :attr:`transport_stats` / the fleet columns for per-node state.
 
         Args:
             measurements: Fresh true measurements ``x_t``, shape
-                ``(N, d)`` (or ``(N,)`` when d = 1).  On the first step
-                of an engine built without explicit dimensions, ``N``
-                and ``d`` are inferred from this shape.
+                ``(N, d)`` (or ``(N,)`` when d = 1).
 
         Returns:
-            The pipeline's :class:`StepOutput` for this slot.
+            The slot's :class:`StepOutput` (with per-slot transport
+            delta and timings).
         """
         x = np.asarray(measurements, dtype=float)
         if x.ndim == 1:
             x = x[:, np.newaxis]
         if x.ndim != 2:
             raise DataError(f"measurements must be (N, d), got {x.shape}")
-        if self.store is None:
-            self._build_streaming(x.shape[0], x.shape[1])
-        if x.shape != (len(self.nodes), self.store.dimension):
+        if self._session is None:
+            self._stream_dims = (x.shape[0], x.shape[1])
+            self._session = self.session(x.shape[0], x.shape[1])
+        session = self._session
+        if x.shape != (session.num_nodes, session.num_resources):
             raise DataError(
-                f"measurements must be ({len(self.nodes)}, "
-                f"{self.store.dimension}), got {x.shape}"
+                f"measurements must be ({session.num_nodes}, "
+                f"{session.num_resources}), got {x.shape}"
             )
-        for node in self.nodes:
-            message = node.observe(x[node.node_id])
-            if message is not None:
-                self.channel.send(message)
-        self.store.apply(self.channel.drain(), now=self._stream_time)
-        output = self.pipeline.step(self.store.values)
-        self._stream_time += 1
-        return output
+        return session.ingest(x)
 
     # ------------------------------------------------------------------
     # Batch mode
@@ -573,4 +728,4 @@ class Engine:
         )
 
 
-__all__ = ["Engine", "PolicyFactory", "RunResult"]
+__all__ = ["Engine", "PolicyFactory", "RunResult", "StreamSession"]

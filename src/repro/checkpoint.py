@@ -1,0 +1,289 @@
+"""Versioned, portable checkpoints for streaming sessions.
+
+A :class:`Checkpoint` is the durable form of a live
+:class:`~repro.session.StreamSession`: the resolved
+:class:`~repro.core.config.PipelineConfig`, the session's metadata
+(fleet shape, policy, clock, ingestion counters) and the full nested
+component state assembled from the ``get_state``/``set_state``
+contracts of :class:`~repro.simulation.fleet.FleetState`,
+:class:`~repro.simulation.transport.Channel`,
+:class:`~repro.core.ring.SlotRing`,
+:class:`~repro.clustering.dynamic.DynamicClusterTracker` and every
+:class:`~repro.forecasting.bank.ForecasterBank` (including
+``ObjectBank``-wrapped ARIMA/LSTM/user models via the
+:meth:`~repro.forecasting.base.Forecaster.get_state` protocol).
+
+On disk a checkpoint is a single ``.npz`` archive: every numpy array in
+the state tree is stored as its own (compressed) archive member, and
+one JSON *manifest* member carries the format version, the resolved
+config and all non-array state with placeholders pointing at the array
+members.  The artifact is portable — no pickling, nothing
+process-specific — and :meth:`Checkpoint.load` rejects unknown format
+versions loudly instead of misinterpreting them.
+
+Resuming is exact by construction: every component contract captures
+all forward-relevant state (including RNG streams), and the round-trip
+test suite pins a resumed session bit-identical to one that never
+stopped, for every registered transmission policy and forecaster bank.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zipfile
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import CheckpointError
+
+
+def _library_version() -> str:
+    """``repro.__version__``, resolved lazily (import-cycle safe)."""
+    import repro
+
+    return getattr(repro, "__version__", "unknown")
+
+#: Format version written into every manifest; bumped on any change to
+#: the artifact layout or the component state contracts.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Archive member holding the JSON manifest.
+_MANIFEST_MEMBER = "manifest.json"
+
+#: Placeholder key marking an extracted array in the manifest tree.
+_ARRAY_KEY = "__array__"
+
+
+def _encode(value: Any, arrays: Dict[str, np.ndarray], path: str) -> Any:
+    """Recursively split a state tree into JSON-able data + arrays.
+
+    Numpy arrays are pulled out into ``arrays`` under sequential keys
+    and replaced by ``{"__array__": key}`` placeholders; scalars, dicts
+    and lists pass through.  Anything else is a contract violation and
+    raises :class:`CheckpointError` naming the offending path.
+    """
+    if isinstance(value, np.ndarray):
+        key = f"a{len(arrays)}"
+        arrays[key] = value
+        return {_ARRAY_KEY: key}
+    if isinstance(value, np.generic):
+        return value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        encoded = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise CheckpointError(
+                    f"state key {k!r} at {path!r} is not a string"
+                )
+            if k == _ARRAY_KEY:
+                raise CheckpointError(
+                    f"state key {_ARRAY_KEY!r} at {path!r} collides with "
+                    "the checkpoint array placeholder"
+                )
+            encoded[k] = _encode(v, arrays, f"{path}.{k}")
+        return encoded
+    if isinstance(value, (list, tuple)):
+        return [
+            _encode(v, arrays, f"{path}[{i}]") for i, v in enumerate(value)
+        ]
+    raise CheckpointError(
+        f"state value of type {type(value).__name__} at {path!r} is not "
+        "checkpoint-serializable; get_state must return JSON-able "
+        "scalars, dicts, lists and numpy arrays"
+    )
+
+
+def _decode(value: Any, arrays: Mapping[str, np.ndarray], path: str) -> Any:
+    """Reassemble a state tree from manifest data + archive arrays."""
+    if isinstance(value, dict):
+        if set(value) == {_ARRAY_KEY}:
+            key = value[_ARRAY_KEY]
+            try:
+                return arrays[key]
+            except KeyError:
+                raise CheckpointError(
+                    f"checkpoint is missing array member {key!r} "
+                    f"referenced at {path!r} (truncated artifact?)"
+                ) from None
+        return {k: _decode(v, arrays, f"{path}.{k}") for k, v in value.items()}
+    if isinstance(value, list):
+        return [
+            _decode(v, arrays, f"{path}[{i}]") for i, v in enumerate(value)
+        ]
+    return value
+
+
+class Checkpoint:
+    """A session's durable state: resolved config + metadata + state tree.
+
+    Instances are produced by :meth:`repro.session.StreamSession.
+    snapshot` and consumed by :meth:`repro.api.Engine.resume`; they can
+    round-trip through disk via :meth:`save`/:meth:`load`.
+
+    Args:
+        config: The resolved pipeline config in
+            :meth:`~repro.core.config.PipelineConfig.to_dict` form.
+        session: Session metadata (fleet shape, policy name, clock,
+            reorder window, ingestion counters, factory provenance).
+        state: Nested component state assembled from the
+            ``get_state`` contracts.
+        version: Checkpoint format version (current on creation).
+        library_version: ``repro.__version__`` that wrote the artifact
+            (informational — compatibility is governed by ``version``).
+    """
+
+    def __init__(
+        self,
+        *,
+        config: Dict[str, Any],
+        session: Dict[str, Any],
+        state: Dict[str, Any],
+        version: int = CHECKPOINT_FORMAT_VERSION,
+        library_version: str = "",
+    ) -> None:
+        self.config = config
+        self.session = session
+        self.state = state
+        self.version = int(version)
+        self.library_version = library_version or _library_version()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        meta = self.session
+        return (
+            f"Checkpoint(v{self.version}, N={meta.get('num_nodes')}, "
+            f"d={meta.get('num_resources')}, t={meta.get('time')}, "
+            f"policy={meta.get('policy')!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Disk round-trip
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the checkpoint as one ``.npz``-style archive.
+
+        The write is atomic: the archive is assembled in a sibling
+        temporary file and renamed over ``path``, so a crash mid-save
+        (the very failure checkpoints exist to survive) can never
+        destroy a previous good checkpoint at the same path.
+
+        Returns:
+            The path written.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        manifest = {
+            "format_version": self.version,
+            "library_version": self.library_version,
+            "config": self.config,
+            "session": _encode(self.session, arrays, "session"),
+            "state": _encode(self.state, arrays, "state"),
+        }
+        path = Path(path)
+        scratch = path.with_name(path.name + f".tmp-{os.getpid()}")
+        try:
+            with zipfile.ZipFile(
+                scratch, "w", zipfile.ZIP_DEFLATED
+            ) as archive:
+                archive.writestr(
+                    _MANIFEST_MEMBER, json.dumps(manifest, indent=2)
+                )
+                for key, array in arrays.items():
+                    buffer = io.BytesIO()
+                    np.save(buffer, np.asarray(array), allow_pickle=False)
+                    archive.writestr(f"{key}.npy", buffer.getvalue())
+            os.replace(scratch, path)
+        finally:
+            scratch.unlink(missing_ok=True)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Checkpoint":
+        """Read a checkpoint written by :meth:`save`.
+
+        Raises:
+            CheckpointError: On a corrupt artifact, a missing manifest,
+                or a format version this build does not understand.
+        """
+        path = Path(path)
+        try:
+            with zipfile.ZipFile(path, "r") as archive:
+                names = set(archive.namelist())
+                if _MANIFEST_MEMBER not in names:
+                    raise CheckpointError(
+                        f"{path} has no {_MANIFEST_MEMBER}; not a repro "
+                        "checkpoint"
+                    )
+                manifest = json.loads(archive.read(_MANIFEST_MEMBER))
+                arrays: Dict[str, np.ndarray] = {}
+                for name in names - {_MANIFEST_MEMBER}:
+                    with archive.open(name) as member:
+                        arrays[name[: -len(".npy")]] = np.load(
+                            io.BytesIO(member.read()), allow_pickle=False
+                        )
+        except zipfile.BadZipFile as exc:
+            raise CheckpointError(f"{path} is not a checkpoint: {exc}") from exc
+        version = manifest.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has format version {version!r}; this "
+                f"build reads version {CHECKPOINT_FORMAT_VERSION} — "
+                "re-snapshot with a matching library version"
+            )
+        return cls(
+            config=manifest["config"],
+            session=_decode(manifest["session"], arrays, "session"),
+            state=_decode(manifest["state"], arrays, "state"),
+            version=int(version),
+            library_version=manifest.get("library_version", "unknown"),
+        )
+
+
+def as_checkpoint(source: Union[Checkpoint, str, Path]) -> Checkpoint:
+    """Coerce a checkpoint-or-path into a loaded :class:`Checkpoint`."""
+    if isinstance(source, Checkpoint):
+        return source
+    if isinstance(source, (str, Path)):
+        return Checkpoint.load(source)
+    raise CheckpointError(
+        f"expected a Checkpoint or a path, got {type(source).__name__}"
+    )
+
+
+def config_mismatch(
+    checkpoint_config: Mapping[str, Any], engine_config: Mapping[str, Any]
+) -> List[Tuple[str, Any, Any]]:
+    """Leaf-level differences between two resolved config dicts.
+
+    Returns ``(dotted.path, checkpoint_value, engine_value)`` triples —
+    empty when the configs agree — so mismatch errors can name exactly
+    what diverged instead of dumping both dicts.
+    """
+    diffs: List[Tuple[str, Any, Any]] = []
+
+    def walk(a: Any, b: Any, path: str) -> None:
+        if isinstance(a, Mapping) and isinstance(b, Mapping):
+            for key in sorted(set(a) | set(b)):
+                walk(
+                    a.get(key, "<missing>"),
+                    b.get(key, "<missing>"),
+                    f"{path}.{key}" if path else str(key),
+                )
+        elif a != b:
+            diffs.append((path, a, b))
+
+    walk(checkpoint_config, engine_config, "")
+    return diffs
+
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "Checkpoint",
+    "as_checkpoint",
+    "config_mismatch",
+]

@@ -9,6 +9,11 @@ Commands:
   their formatted results, with ``--nodes/--steps`` scale overrides.
 * ``run --config <json>`` — build an :class:`~repro.api.Engine` from a
   JSON config file and run it end to end on a synthetic trace.
+* ``run --config <json> --stream`` — drive a long-lived
+  :class:`~repro.session.StreamSession` slot by slot instead of the
+  batch path, with ``--checkpoint <path>`` (and ``--checkpoint-every
+  N``) writing durable snapshots and ``--resume <path>`` continuing
+  bit-identically from one.
 * ``demo`` — run the quickstart pipeline on a synthetic trace.
 """
 
@@ -20,6 +25,7 @@ import time
 from typing import List, Optional
 
 from repro.api import Engine
+from repro.checkpoint import CHECKPOINT_FORMAT_VERSION, as_checkpoint
 from repro.core.config import PipelineConfig
 from repro.datasets import load_alibaba_like
 from repro.exceptions import ReproError
@@ -29,6 +35,7 @@ from repro.registry import (
     FORECASTERS,
     FORECASTER_BANKS,
     SIMILARITY_MEASURES,
+    SLOT_KERNELS,
     TRANSMISSION_POLICIES,
 )
 
@@ -87,6 +94,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--steps", type=int, default=None,
         help="override the number of time slots",
     )
+    run_parser.add_argument(
+        "--stream", action="store_true",
+        help="drive a streaming session slot by slot instead of the "
+             "batch path (--config runs only)",
+    )
+    run_parser.add_argument(
+        "--policy", default="adaptive",
+        help="transmission policy for --stream runs "
+             f"(one of: {', '.join(TRANSMISSION_POLICIES.available())})",
+    )
+    run_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a checkpoint of the streaming session to PATH "
+             "(at the end of the run, plus every --checkpoint-every "
+             "slots)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="also checkpoint every N slots (requires --checkpoint)",
+    )
+    run_parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume the streaming session from a checkpoint and "
+             "continue on the synthetic trace (config/policy are taken "
+             "from the checkpoint when --config is omitted)",
+    )
 
     demo_parser = commands.add_parser(
         "demo", help="run the quickstart pipeline"
@@ -110,9 +143,11 @@ def _command_list() -> int:
         ("forecaster banks", FORECASTER_BANKS),
         ("collection backends", COLLECTION_BACKENDS),
         ("transmission policies", TRANSMISSION_POLICIES),
+        ("slot kernels", SLOT_KERNELS),
         ("similarity measures", SIMILARITY_MEASURES),
     ):
         print(f"  {label:<22} {', '.join(registry.available())}")
+    print(f"\ncheckpoint format: v{CHECKPOINT_FORMAT_VERSION}")
     return 0
 
 
@@ -148,7 +183,113 @@ def _command_run_config(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_run_stream(args: argparse.Namespace) -> int:
+    """Drive a streaming session over the synthetic trace.
+
+    With ``--resume`` the session continues from the checkpoint's slot
+    on the same deterministic synthetic trace, so an interrupted run
+    plus its resumption is bit-identical to an uninterrupted one.
+    """
+    num_nodes = args.nodes if args.nodes is not None else 24
+    num_steps = args.steps if args.steps is not None else 240
+    if args.checkpoint_every is not None and args.checkpoint is None:
+        print("--checkpoint-every requires --checkpoint", file=sys.stderr)
+        return 2
+    try:
+        if args.resume is not None:
+            checkpoint = as_checkpoint(args.resume)
+            if args.config is not None:
+                engine = Engine.from_config(args.config, policy=args.policy)
+            else:
+                engine = Engine.from_config(
+                    checkpoint.config,
+                    policy=checkpoint.session["policy"] or "adaptive",
+                )
+            session = engine.resume(checkpoint)
+            if args.nodes is not None and args.nodes != session.num_nodes:
+                print(
+                    f"--nodes {args.nodes} contradicts the checkpoint's "
+                    f"{session.num_nodes}-node session; a resumed session "
+                    "keeps its fleet size",
+                    file=sys.stderr,
+                )
+                return 2
+            num_nodes = session.num_nodes
+        else:
+            engine = Engine.from_config(args.config, policy=args.policy)
+            session = engine.session(num_nodes, 1)
+    except OSError as exc:
+        print(f"cannot read configuration: {exc}", file=sys.stderr)
+        return 2
+    except (TypeError, ValueError, ReproError) as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+
+    trace = load_alibaba_like(
+        num_nodes=num_nodes, num_steps=num_steps
+    ).resource("cpu")
+    start = session.time
+    if start >= num_steps:
+        print(
+            f"checkpoint is already at slot {start}; raise --steps "
+            f"beyond {num_steps} to continue", file=sys.stderr,
+        )
+        return 2
+    started = time.perf_counter()
+    for t in range(start, num_steps):
+        session.ingest(trace[t])
+        if (
+            args.checkpoint is not None
+            and args.checkpoint_every is not None
+            and session.time % args.checkpoint_every == 0
+        ):
+            session.save(args.checkpoint)
+    elapsed = time.perf_counter() - started
+    if args.checkpoint is not None:
+        path = session.save(args.checkpoint)
+        print(f"checkpoint written: {path} (format v"
+              f"{CHECKPOINT_FORMAT_VERSION})")
+    slots = num_steps - start
+    mode = "vectorized slot kernel" if session.vectorized else "object loop"
+    print(
+        f"stream session: {num_nodes} nodes, slots {start}..{num_steps - 1}"
+        f" ({mode})"
+    )
+    print(
+        f"transmission frequency: {session.empirical_frequency:.3f} "
+        f"({session.transport_stats.messages} messages, "
+        f"{session.transport_stats.payload_bytes()} payload bytes)"
+    )
+    if session.late_applied or session.late_dropped:
+        print(
+            f"late arrivals: {session.late_applied} applied, "
+            f"{session.late_dropped} dropped"
+        )
+    try:
+        forecasts = session.forecast()
+        horizons = ", ".join(str(h) for h in sorted(forecasts))
+        print(f"forecasts available for horizons: {horizons}")
+    except ReproError:
+        print("forecasts: not yet (still in the initial collection phase)")
+    print(f"[{elapsed:.1f}s, {slots / max(elapsed, 1e-9):.0f} slots/s]")
+    return 0
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    if args.stream or args.resume is not None:
+        if args.experiments:
+            print(
+                "--stream and experiment ids are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        if args.config is None and args.resume is None:
+            print("--stream needs --config or --resume", file=sys.stderr)
+            return 2
+        return _command_run_stream(args)
+    if args.checkpoint is not None or args.checkpoint_every is not None:
+        print("--checkpoint only applies to --stream runs", file=sys.stderr)
+        return 2
     if args.config is not None:
         if args.experiments:
             print(

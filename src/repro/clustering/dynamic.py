@@ -199,6 +199,74 @@ class DynamicClusterTracker:
         self._time += 1
         return assignment
 
+    # ------------------------------------------------------------------
+    # Checkpoint state contract
+    # ------------------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Serializable tracker state (checkpoint contract).
+
+        Captures everything a future :meth:`update` depends on: the full
+        re-indexed label and centroid histories (labels double as the
+        similarity window; centroids are the forecasters' training
+        data), the previous centroids used for empty-cluster fallback
+        and warm starts, and the *exact* internal RNG state — K-means
+        restarts draw from it, so bit-identical resumption requires the
+        generator to continue mid-stream.
+        """
+        return {
+            "num_clusters": self.num_clusters,
+            "time": self._time,
+            "dim": self._dim,
+            "labels": (
+                np.stack([a.labels for a in self._assignments])
+                if self._assignments else None
+            ),
+            "centroids": (
+                np.stack(self._centroid_history)
+                if self._centroid_history else None
+            ),
+            "previous_centroids": (
+                None if self._previous_centroids is None
+                else self._previous_centroids.copy()
+            ),
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`get_state`."""
+        if int(state["num_clusters"]) != self.num_clusters:
+            raise ConfigurationError(
+                f"state holds K={state['num_clusters']}, tracker has "
+                f"K={self.num_clusters}"
+            )
+        self._time = int(state["time"])
+        self._dim = None if state["dim"] is None else int(state["dim"])
+        labels = state["labels"]
+        centroids = state["centroids"]
+        self._assignments = []
+        self._centroid_history = []
+        self._label_window = deque(maxlen=self.history_depth)
+        if labels is not None:
+            labels = np.asarray(labels)
+            centroids = np.asarray(centroids, dtype=float)
+            for t in range(labels.shape[0]):
+                self._assignments.append(
+                    ClusterAssignment(
+                        time=t, labels=labels[t], centroids=centroids[t]
+                    )
+                )
+                self._centroid_history.append(centroids[t])
+            for row in labels[-self.history_depth:]:
+                self._label_window.append(np.asarray(row, dtype=int).copy())
+        previous = state["previous_centroids"]
+        self._previous_centroids = (
+            None if previous is None else np.asarray(previous, dtype=float)
+        )
+        rng = np.random.default_rng()
+        rng.bit_generator.state = state["rng"]
+        self._rng = rng
+
     def _identity_update(self, data: np.ndarray) -> ClusterAssignment:
         """K >= N: node i forms cluster i; extra clusters stay empty."""
         num_nodes = data.shape[0]

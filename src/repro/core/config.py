@@ -76,6 +76,14 @@ class ClusteringConfig:
             independently on scalar values (Table I's winner); if False,
             cluster the full d-dimensional vectors jointly.
         kmeans_restarts: Number of k-means++ restarts per step.
+        warm_start: Seed each slot's K-means with the previous slot's
+            centroids (see :class:`~repro.clustering.dynamic.
+            DynamicClusterTracker`).  A large speedup for long-lived
+            streaming sessions on slowly drifting fleets — Lloyd
+            converges in a couple of iterations instead of starting
+            from scratch every slot.  The paper does not specify this;
+            default off (it changes the K-means trajectory, so enable
+            it deliberately).
         seed: Seed for the clustering RNG.
     """
 
@@ -85,6 +93,7 @@ class ClusteringConfig:
     window: int = 1
     scalar_per_resource: bool = True
     kmeans_restarts: int = 3
+    warm_start: bool = False
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:

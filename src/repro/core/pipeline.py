@@ -25,9 +25,12 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.simulation.transport import TransportStats
 
 from repro._compat import warn_once
 from repro.core.config import ForecastingConfig, PipelineConfig
@@ -52,6 +55,12 @@ logger = logging.getLogger(__name__)
 class StepOutput:
     """What the pipeline emits after processing one slot.
 
+    Aligned with :class:`repro.api.RunResult`: when the slot ran through
+    a streaming session (:meth:`repro.session.StreamSession.ingest` or
+    :meth:`repro.api.Engine.step`), it additionally carries the slot's
+    transport delta and per-stage wall-clock timings, so streaming and
+    batch results are inspectable the same way.
+
     Attributes:
         time: The slot index ``t``.
         stored: The central store ``z_t``, shape ``(N, d)``.
@@ -62,6 +71,14 @@ class StepOutput:
         centroid_forecasts: ``{h: (K, d) array}`` of forecasted centroids.
         memberships: Forecasted cluster per node and resource group,
             shape ``(groups, N)``; None before forecasting starts.
+        transport: *This slot's* message/byte counters (not cumulative)
+            — a :class:`~repro.simulation.transport.TransportStats`
+            delta.  None when the pipeline ran outside a session.
+        timings: Wall-clock seconds per stage for this slot
+            (``collection``, ``clustering``, ``training``,
+            ``forecasting``, ``total``), mirroring
+            :attr:`repro.api.RunResult.timings`.  None outside a
+            session.
     """
 
     time: int
@@ -70,6 +87,8 @@ class StepOutput:
     node_forecasts: Optional[Dict[int, np.ndarray]] = None
     centroid_forecasts: Optional[Dict[int, np.ndarray]] = None
     memberships: Optional[np.ndarray] = None
+    transport: Optional["TransportStats"] = None
+    timings: Optional[Dict[str, float]] = None
 
 
 class OnlinePipeline:
@@ -111,6 +130,7 @@ class OnlinePipeline:
                 history_depth=clustering.history_depth,
                 similarity=clustering.similarity,
                 restarts=clustering.kmeans_restarts,
+                warm_start=clustering.warm_start,
                 seed=None if clustering.seed is None else clustering.seed + g,
             )
             for g in range(len(self._groups))
@@ -228,6 +248,63 @@ class OnlinePipeline:
             self.stage_seconds["forecasting"] += time.perf_counter() - started
         self._time += 1
         return output
+
+    # ------------------------------------------------------------------
+    # Checkpoint state contract
+    # ------------------------------------------------------------------
+
+    def get_state(self) -> Dict[str, object]:
+        """Serializable pipeline state (checkpoint contract).
+
+        Composes the state contracts of every owned component — the
+        bounded history rings, one
+        :class:`~repro.clustering.dynamic.DynamicClusterTracker` and one
+        :class:`~repro.forecasting.bank.ForecasterBank` per resource
+        group — plus the pipeline's own clock, retrain schedule and
+        cumulative stage timings.
+        """
+        return {
+            "time": self._time,
+            "last_train": self._last_train,
+            "stage_seconds": dict(self.stage_seconds),
+            "stored_history": self._stored_history.get_state(),
+            "label_history": [
+                ring.get_state() for ring in self._label_history
+            ],
+            "trackers": [t.get_state() for t in self._trackers],
+            "banks": [b.get_state() for b in self._banks],
+        }
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        """Restore a state captured by :meth:`get_state`.
+
+        The pipeline must have been constructed with the same
+        configuration and dimensions (group structure and bank types are
+        set at construction; the state carries only their contents).
+        """
+        groups = len(self._groups)
+        for key in ("label_history", "trackers", "banks"):
+            if len(state[key]) != groups:
+                raise DataError(
+                    f"state holds {len(state[key])} {key} entries, "
+                    f"pipeline has {groups} resource groups"
+                )
+        self._time = int(state["time"])
+        last_train = state["last_train"]
+        self._last_train = None if last_train is None else int(last_train)
+        self.stage_seconds = {
+            stage: float(seconds)
+            for stage, seconds in state["stage_seconds"].items()
+        }
+        self._stored_history.set_state(state["stored_history"])
+        for ring, ring_state in zip(
+            self._label_history, state["label_history"]
+        ):
+            ring.set_state(ring_state)
+        for tracker, tracker_state in zip(self._trackers, state["trackers"]):
+            tracker.set_state(tracker_state)
+        for bank, bank_state in zip(self._banks, state["banks"]):
+            bank.set_state(bank_state)
 
     # ------------------------------------------------------------------
     # Model management

@@ -90,5 +90,33 @@ class SlotRing:
         self._length = 0
         self._cursor = 0
 
+    # -- checkpoint state contract --------------------------------------
+
+    def get_state(self) -> dict:
+        """Serializable ring state: the retained window, oldest first.
+
+        The cursor position is not part of the contract — only the
+        window's contents and order are observable, so restoring via
+        re-appends is bit-identical to the original ring.
+        """
+        return {
+            "maxlen": self.maxlen,
+            "window": self.ordered() if self._length else None,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a window captured by :meth:`get_state`."""
+        if int(state["maxlen"]) != self.maxlen:
+            raise DataError(
+                f"ring maxlen {self.maxlen} cannot load a window of "
+                f"maxlen {state['maxlen']}"
+            )
+        self._buffer = None
+        self.clear()
+        window = state["window"]
+        if window is not None:
+            for row in np.asarray(window):
+                self.append(row)
+
 
 __all__ = ["SlotRing"]

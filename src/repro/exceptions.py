@@ -31,3 +31,12 @@ class DataError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation loop reached an inconsistent internal state."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint artifact cannot be written, read, or applied.
+
+    Covers unserializable component state, corrupt or truncated
+    artifacts, format-version mismatches, and resuming against an
+    engine whose configuration contradicts the checkpoint's.
+    """

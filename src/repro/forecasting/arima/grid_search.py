@@ -185,6 +185,39 @@ class AutoArima:
     def forecast(self, horizon: int) -> np.ndarray:
         return self.model.forecast(horizon)
 
+    # -- checkpoint state contract --------------------------------------
+
+    def get_state(self) -> dict:
+        """Checkpoint state: the selected order plus the fitted model.
+
+        Restoring skips the grid search entirely — the winning
+        :class:`ArimaModel` is rebuilt at its recorded order and its
+        fitted parameters are loaded directly.
+        """
+        if self._model is None:
+            return {"order": None, "model": None}
+        order = self._model.order
+        return {
+            "order": [
+                order.p, order.d, order.q, order.P, order.D, order.Q,
+                order.s,
+            ],
+            "enforce_stability": self._model.enforce_stability,
+            "model": self._model.get_state(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`get_state`."""
+        if state["model"] is None:
+            self._model = None
+            return
+        order = ArimaOrder(*(int(v) for v in state["order"]))
+        model = ArimaModel(
+            order, enforce_stability=bool(state["enforce_stability"])
+        )
+        model.set_state(state["model"])
+        self._model = model
+
 
 @register_forecaster("arima")
 def _build_arima(config, cluster: int, group: int) -> AutoArima:

@@ -332,6 +332,27 @@ class ArimaModel(Forecaster):
         return point, point - half_width, point + half_width
 
     # ------------------------------------------------------------------
+    # Checkpoint state contract
+    # ------------------------------------------------------------------
+
+    def _state(self) -> dict:
+        return {
+            "params": None if self._params is None else self._params.copy(),
+            "model_mean": self._mean,
+            "sse": self._sse,
+            "num_effective": self._num_effective,
+        }
+
+    def _load_state(self, state: dict) -> None:
+        params = state["params"]
+        self._params = (
+            None if params is None else np.asarray(params, dtype=float)
+        )
+        self._mean = float(state["model_mean"])
+        self._sse = float(state["sse"])
+        self._num_effective = int(state["num_effective"])
+
+    # ------------------------------------------------------------------
     # Diagnostics
     # ------------------------------------------------------------------
 

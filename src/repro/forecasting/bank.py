@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 import numpy as np
 
 from repro.exceptions import (
+    CheckpointError,
     ConfigurationError,
     DataError,
     NotFittedError,
@@ -210,6 +211,31 @@ class ForecasterBank(abc.ABC):
     def _forecast(self, horizon: int) -> np.ndarray:
         """Forecast the flattened series, returning ``(horizon, S)``."""
 
+    # -- checkpoint state contract --------------------------------------
+
+    def get_state(self) -> Dict[str, object]:
+        """Serializable bank state (checkpoint contract).
+
+        Returns a dict of JSON-able scalars / numpy arrays such that a
+        freshly built bank of the same shape, after :meth:`set_state`,
+        continues bit-identically — every future ``update``/``forecast``
+        matches a bank that never stopped.  Subclasses contribute their
+        model parameters via :meth:`_state`/:meth:`_load_state`.
+        """
+        return {"fitted": self._fitted, **self._state()}
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        """Restore a state captured by :meth:`get_state`."""
+        self._fitted = bool(state["fitted"])
+        self._load_state(state)
+
+    def _state(self) -> Dict[str, object]:
+        """Model parameters for :meth:`get_state` (subclass hook)."""
+        return {}
+
+    def _load_state(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`_state` output (subclass hook)."""
+
 
 class SampleHoldBank(ForecasterBank):
     """All clusters' sample-and-hold forecasts in one array op."""
@@ -226,6 +252,13 @@ class SampleHoldBank(ForecasterBank):
 
     def _forecast(self, horizon: int) -> np.ndarray:
         return hold_forecast(self._last, horizon)
+
+    def _state(self) -> Dict[str, object]:
+        return {"last": self._last}
+
+    def _load_state(self, state: Dict[str, object]) -> None:
+        last = state["last"]
+        self._last = None if last is None else np.asarray(last, dtype=float)
 
 
 class MeanBank(ForecasterBank):
@@ -248,6 +281,21 @@ class MeanBank(ForecasterBank):
 
     def _forecast(self, horizon: int) -> np.ndarray:
         return hold_forecast(self._mean, horizon)
+
+    def _state(self) -> Dict[str, object]:
+        return {
+            "rows": np.stack(self._rows) if self._rows else None,
+            "mean": self._mean,
+        }
+
+    def _load_state(self, state: Dict[str, object]) -> None:
+        rows = state["rows"]
+        self._rows = (
+            [] if rows is None
+            else [row.copy() for row in np.asarray(rows, dtype=float)]
+        )
+        mean = state["mean"]
+        self._mean = None if mean is None else np.asarray(mean, dtype=float)
 
 
 class ExponentialBank(ForecasterBank):
@@ -300,6 +348,24 @@ class ExponentialBank(ForecasterBank):
     def _forecast(self, horizon: int) -> np.ndarray:
         return hold_forecast(self._level, horizon)
 
+    def _state(self) -> Dict[str, object]:
+        return {
+            "alpha": (
+                self._alpha if isinstance(self._alpha, float)
+                else np.asarray(self._alpha)
+            ),
+            "level": self._level,
+        }
+
+    def _load_state(self, state: Dict[str, object]) -> None:
+        alpha = state["alpha"]
+        self._alpha = (
+            float(alpha) if np.ndim(alpha) == 0
+            else np.asarray(alpha, dtype=float)
+        )
+        level = state["level"]
+        self._level = None if level is None else np.asarray(level, dtype=float)
+
 
 class YuleWalkerBank(ForecasterBank):
     """Yule–Walker AR(p) over all series: one batched lag-matrix solve.
@@ -343,6 +409,27 @@ class YuleWalkerBank(ForecasterBank):
             self._mean,
             np.asarray(self._window[-self.order :]),
             horizon,
+        )
+
+    def _state(self) -> Dict[str, object]:
+        return {
+            "coefficients": self._coefficients,
+            "mean": self._mean,
+            "window": np.stack(self._window) if self._window else None,
+        }
+
+    def _load_state(self, state: Dict[str, object]) -> None:
+        coefficients = state["coefficients"]
+        self._coefficients = (
+            None if coefficients is None
+            else np.asarray(coefficients, dtype=float)
+        )
+        mean = state["mean"]
+        self._mean = None if mean is None else np.asarray(mean, dtype=float)
+        window = state["window"]
+        self._window = (
+            [] if window is None
+            else [row.copy() for row in np.asarray(window, dtype=float)]
         )
 
 
@@ -408,6 +495,48 @@ class ObjectBank(ForecasterBank):
                 out.reshape(horizon, self.num_clusters, self.dim), failures
             )
         return out
+
+    def _state(self) -> Dict[str, object]:
+        # One state dict per wrapped forecaster, via the documented
+        # Forecaster get_state/set_state protocol — custom models used
+        # behind an ObjectBank must implement it to be checkpointable.
+        states = []
+        for j, per_cluster in enumerate(self._models):
+            row = []
+            for r, model in enumerate(per_cluster):
+                getter = getattr(model, "get_state", None)
+                if getter is None:
+                    raise CheckpointError(
+                        f"forecaster {type(model).__name__} (cluster {j}, "
+                        f"dim {r}) does not implement the "
+                        "get_state/set_state checkpoint protocol; add "
+                        "both methods to make it checkpointable (see "
+                        "repro.forecasting.base.Forecaster.get_state)"
+                    )
+                row.append(getter())
+            states.append(row)
+        return {"models": states}
+
+    def _load_state(self, state: Dict[str, object]) -> None:
+        states = state["models"]
+        if len(states) != self.num_clusters or any(
+            len(row) != self.dim for row in states
+        ):
+            raise CheckpointError(
+                f"object-bank state holds "
+                f"{len(states)}x{len(states[0]) if states else 0} models, "
+                f"bank has {self.num_clusters}x{self.dim}"
+            )
+        for j, per_cluster in enumerate(self._models):
+            for r, model in enumerate(per_cluster):
+                setter = getattr(model, "set_state", None)
+                if setter is None:
+                    raise CheckpointError(
+                        f"forecaster {type(model).__name__} (cluster {j}, "
+                        f"dim {r}) does not implement the "
+                        "get_state/set_state checkpoint protocol"
+                    )
+                setter(states[j][r])
 
 
 @register_forecaster_bank("sample_hold")

@@ -83,3 +83,43 @@ class Forecaster(abc.ABC):
     @abc.abstractmethod
     def _forecast(self, horizon: int) -> np.ndarray:
         """Model-specific forecasting."""
+
+    # ------------------------------------------------------------------
+    # Checkpoint state contract
+    # ------------------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Serializable model state (the checkpoint protocol).
+
+        The contract: :meth:`get_state` returns a dict of JSON-able
+        scalars, nested dicts/lists and numpy arrays; feeding it to
+        :meth:`set_state` on a *freshly constructed* instance of the
+        same class (same constructor arguments) must make every future
+        ``update``/``forecast`` bit-identical to a model that never
+        stopped.  The base implementation captures the observation
+        history and the fitted flag; subclasses contribute their fitted
+        parameters and transient state via :meth:`_state` /
+        :meth:`_load_state`.  Custom forecasters run behind an
+        :class:`~repro.forecasting.bank.ObjectBank` must follow this
+        protocol to be checkpointable.
+        """
+        return {
+            "history": np.asarray(self._history, dtype=float),
+            "fitted": self._fitted,
+            **self._state(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`get_state`."""
+        self._history = [
+            float(v) for v in np.asarray(state["history"], dtype=float)
+        ]
+        self._fitted = bool(state["fitted"])
+        self._load_state(state)
+
+    def _state(self) -> dict:
+        """Fitted parameters / transient state (subclass hook)."""
+        return {}
+
+    def _load_state(self, state: dict) -> None:
+        """Restore :meth:`_state` output (subclass hook)."""

@@ -111,6 +111,13 @@ class SimpleExponentialSmoothing(Forecaster):
     def _forecast(self, horizon: int) -> np.ndarray:
         return np.full(horizon, self._level)
 
+    def _state(self) -> dict:
+        return {"alpha": float(self.alpha), "level": float(self._level)}
+
+    def _load_state(self, state: dict) -> None:
+        self.alpha = float(state["alpha"])
+        self._level = float(state["level"])
+
 
 class HoltLinear(Forecaster):
     """Holt's linear method: level + (optionally damped) trend.
@@ -176,6 +183,20 @@ class HoltLinear(Forecaster):
         # Damped-trend forecast: l + (φ + φ² + ... + φ^h) b
         weights = np.cumsum(phi ** np.arange(1, horizon + 1))
         return self._level + weights * self._trend
+
+    def _state(self) -> dict:
+        return {
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "level": float(self._level),
+            "trend": float(self._trend),
+        }
+
+    def _load_state(self, state: dict) -> None:
+        self.alpha = float(state["alpha"])
+        self.beta = float(state["beta"])
+        self._level = float(state["level"])
+        self._trend = float(state["trend"])
 
 
 class HoltWinters(Forecaster):
@@ -288,6 +309,31 @@ class HoltWinters(Forecaster):
                 + self._seasonal[s_idx]
             )
         return out
+
+    def _state(self) -> dict:
+        return {
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "gamma_s": self.gamma_s,
+            "level": float(self._level),
+            "trend": float(self._trend),
+            "seasonal": (
+                None if self._seasonal is None else self._seasonal.copy()
+            ),
+            "season_index": self._season_index,
+        }
+
+    def _load_state(self, state: dict) -> None:
+        self.alpha = float(state["alpha"])
+        self.beta = float(state["beta"])
+        self.gamma_s = float(state["gamma_s"])
+        self._level = float(state["level"])
+        self._trend = float(state["trend"])
+        seasonal = state["seasonal"]
+        self._seasonal = (
+            None if seasonal is None else np.asarray(seasonal, dtype=float)
+        )
+        self._season_index = int(state["season_index"])
 
 
 @register_forecaster("ses")

@@ -119,6 +119,50 @@ class LstmForecaster(Forecaster):
         """Mean epoch losses from the most recent fit."""
         return np.asarray(self._loss_history, dtype=float)
 
+    # -- checkpoint state contract --------------------------------------
+
+    def _state(self) -> dict:
+        return {
+            "rng": self._rng.bit_generator.state,
+            "scaler_low": self._scaler.low,
+            "scaler_span": self._scaler.span,
+            "loss_history": np.asarray(self._loss_history, dtype=float),
+            "network": (
+                None if self._network is None else [
+                    {
+                        name: array.copy()
+                        for name, array in layer.parameters.items()
+                    }
+                    for layer in self._network.layers
+                ]
+            ),
+        }
+
+    def _load_state(self, state: dict) -> None:
+        self._scaler.low = float(state["scaler_low"])
+        self._scaler.span = float(state["scaler_span"])
+        self._loss_history = [
+            float(v) for v in np.asarray(state["loss_history"], dtype=float)
+        ]
+        network_state = state["network"]
+        if network_state is None:
+            self._network = None
+        else:
+            # Construction draws init weights from a throwaway generator;
+            # every parameter is then overwritten with the checkpointed
+            # values, and the real RNG stream is restored below.
+            network = StackedLSTMNetwork(
+                input_dim=1, hidden_dim=self.hidden_dim, output_dim=1,
+                rng=np.random.default_rng(0),
+            )
+            for layer, params in zip(network.layers, network_state):
+                for name, array in layer.parameters.items():
+                    array[...] = params[name]
+            self._network = network
+        rng = np.random.default_rng()
+        rng.bit_generator.state = state["rng"]
+        self._rng = rng
+
     def _fit(self, series: np.ndarray) -> None:
         if series.size <= self.lookback:
             raise DataError(

@@ -82,6 +82,12 @@ class MeanForecaster(Forecaster):
     def _forecast(self, horizon: int) -> np.ndarray:
         return hold_forecast(np.asarray([self._mean]), horizon)[:, 0]
 
+    def _state(self) -> dict:
+        return {"mean": self._mean}
+
+    def _load_state(self, state: dict) -> None:
+        self._mean = float(state["mean"])
+
 
 @register_forecaster("sample_hold")
 def _build_sample_hold(config, cluster: int, group: int) -> SampleHoldForecaster:

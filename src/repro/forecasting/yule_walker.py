@@ -196,6 +196,13 @@ class YuleWalkerAR(Forecaster):
             horizon,
         )[:, 0]
 
+    def _state(self) -> dict:
+        return {"coefficients": self._coefficients.copy(), "mean": self._mean}
+
+    def _load_state(self, state: dict) -> None:
+        self._coefficients = np.asarray(state["coefficients"], dtype=float)
+        self._mean = float(state["mean"])
+
 
 @register_forecaster("ar")
 def _build_ar(config, cluster: int, group: int) -> YuleWalkerAR:

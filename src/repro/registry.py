@@ -15,7 +15,10 @@ them, so adding a backend never means editing the engine:
   without an entry fall back to the ``ObjectBank`` adapter;
 * :data:`TRANSMISSION_POLICIES` — builders ``(transmission_config,
   node_id) -> TransmissionPolicy`` (``"adaptive"``, ``"uniform"``,
-  ``"deadband"``);
+  ``"deadband"``, ``"perfect"``);
+* :data:`SLOT_KERNELS` — builders ``(transmission_config) -> kernel``
+  producing the vectorized one-slot form of a policy, used by streaming
+  sessions to decide a whole fleet's transmissions in one array call;
 * :data:`COLLECTION_BACKENDS` — callables ``(trace,
   transmission_config) -> CollectionResult`` (``"adaptive"``,
   ``"uniform"``, ``"perfect"``, ``"deadband"``);
@@ -182,6 +185,17 @@ TRANSMISSION_POLICIES = Registry(
     "transmission policy", modules=("repro.transmission",)
 )
 
+#: Policy name → builder ``(transmission_config) -> slot kernel``.  A
+#: slot kernel is the whole-fleet vectorized form of one policy slot:
+#: ``kernel(x, stored, observed, state, times) -> transmit`` evaluates
+#: every active node's decision in one array operation (mutating the
+#: per-node scalar ``state`` column in place), bit-identical to looping
+#: the per-node policy objects.  Policies without an entry run sessions
+#: through the object loop (see :class:`repro.session.StreamSession`).
+SLOT_KERNELS = Registry(
+    "transmission slot kernel", modules=("repro.transmission",)
+)
+
 #: Collection backend name → ``(trace, transmission_config) -> CollectionResult``.
 COLLECTION_BACKENDS = Registry(
     "collection backend",
@@ -225,6 +239,23 @@ def register_transmission_policy(name: str, *, override: bool = False):
     return TRANSMISSION_POLICIES.register(name, override=override)
 
 
+def register_slot_kernel(name: str, *, override: bool = False):
+    """Decorator registering a vectorized transmission slot kernel.
+
+    The builder receives the ``transmission_config`` and returns a
+    callable ``kernel(x, stored, observed, state, times) -> transmit``
+    evaluating one slot's decisions for a batch of nodes at once:
+    ``x``/``stored`` are ``(n, d)`` fresh/centrally-stored values,
+    ``observed`` marks nodes past their forced first transmission,
+    ``state`` is the per-node scalar policy accumulator (mutated in
+    place — the :attr:`FleetState.policy_state
+    <repro.simulation.fleet.FleetState.policy_state>` column), and
+    ``times`` the per-node decision counts.  Register under the policy
+    name the kernel accelerates so streaming sessions pick it up.
+    """
+    return SLOT_KERNELS.register(name, override=override)
+
+
 def register_collection_backend(name: str, *, override: bool = False):
     """Decorator registering a whole-trace collection backend.
 
@@ -245,11 +276,13 @@ __all__ = [
     "FORECASTERS",
     "FORECASTER_BANKS",
     "TRANSMISSION_POLICIES",
+    "SLOT_KERNELS",
     "COLLECTION_BACKENDS",
     "SIMILARITY_MEASURES",
     "register_forecaster",
     "register_forecaster_bank",
     "register_transmission_policy",
+    "register_slot_kernel",
     "register_collection_backend",
     "register_similarity",
 ]

@@ -1,0 +1,547 @@
+"""Stateful serving sessions: the first-class streaming surface.
+
+A :class:`StreamSession` is one long-lived deployment of the paper's
+system: it owns the live state — the columnar
+:class:`~repro.simulation.fleet.FleetState`, the transport
+:class:`~repro.simulation.transport.Channel`, the bounded
+:class:`~repro.core.ring.SlotRing` histories, the per-group
+:class:`~repro.clustering.dynamic.DynamicClusterTracker` and
+:class:`~repro.forecasting.bank.ForecasterBank` instances — and exposes
+the serving API:
+
+* :meth:`StreamSession.ingest` — one time slot of measurements, **full
+  or partial**: a subset of ``node_ids`` may report (absent nodes keep
+  their stored values under the staleness rule), and late arrivals for
+  already-closed slots are applied or dropped under a bounded reorder
+  window with explicit counters;
+* :meth:`StreamSession.forecast` — the current multi-horizon per-node
+  forecasts, on demand;
+* :meth:`StreamSession.snapshot` — a versioned, portable
+  :class:`~repro.checkpoint.Checkpoint` from which
+  :meth:`repro.api.Engine.resume` reconstructs a session that continues
+  **bit-identically** to one that never stopped.
+
+The per-slot hot path is vectorized: for every registered transmission
+policy the whole fleet's decisions are one batched slot-kernel call
+(:data:`repro.registry.SLOT_KERNELS`) over the fleet columns — the same
+kernels the batch collection backends iterate — so a session slot costs
+array operations, not ``N`` Python method calls.  Sessions built with a
+custom ``policy_factory`` fall back to the faithful per-node object
+loop, which is bit-identical by construction (the kernels are pinned to
+it by property tests).
+
+Partial-slot and late-arrival semantics (documented contract):
+
+* A frontier ``ingest(values, node_ids)`` call closes exactly one slot.
+  Only the named nodes run their transmission policy (their clocks and
+  policy state advance); absent nodes stay silent, and the central
+  store keeps their last received value — the paper's staleness rule.
+  Clustering and forecasting always see the full ``(N, d)`` store.
+* A call with ``t < session.time`` is a **late arrival** for a closed
+  slot.  If the slot is older than ``reorder_window``, all its values
+  are dropped (``late_dropped``).  Otherwise each value is applied iff
+  the store has received nothing newer for that node
+  (``last_update < t``): applied values update the store and transport
+  counters (``late_applied``) and are seen by the *next* frontier slot;
+  superseded values are dropped.  Late data never re-runs transmission
+  policies and never re-opens closed clustering slots.
+* ``t > session.time`` is an error — slots close in order.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.checkpoint import CHECKPOINT_FORMAT_VERSION, Checkpoint
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import (
+    ForecasterFactory,
+    OnlinePipeline,
+    StepOutput,
+)
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    DataError,
+    NotFittedError,
+)
+from repro.registry import SLOT_KERNELS, TRANSMISSION_POLICIES
+from repro.simulation.controller import CentralStore
+from repro.simulation.fleet import FleetState
+from repro.simulation.node import LocalNode
+from repro.simulation.transport import Channel, TransportStats
+from repro.transmission.base import TransmissionPolicy
+
+#: A per-node policy factory receives the node id.
+PolicyFactory = Callable[[int], TransmissionPolicy]
+
+
+class StreamSession:
+    """A live, checkpointable streaming deployment of the pipeline.
+
+    Built via :meth:`repro.api.Engine.session` (or
+    :meth:`~repro.api.Engine.resume`); constructing directly is
+    equivalent.
+
+    Args:
+        config: Full pipeline configuration.
+        num_nodes: Fleet size ``N``.
+        num_resources: Resource dimensionality ``d``.
+        policy: Transmission-policy name (any entry of
+            :data:`repro.registry.TRANSMISSION_POLICIES`).
+        policy_factory: Custom per-node policy factory; forces the
+            object-loop slot path (custom policies have no vectorized
+            kernel).
+        forecaster_factory: Optional forecasting-model override,
+            forwarded to the pipeline's banks.
+        reorder_window: How many already-closed slots a late arrival
+            may lag behind the frontier and still be applied; 0 (the
+            default) drops all late data.
+        vectorized: Force the slot path: True requires a registered
+            slot kernel for ``policy``, False forces the per-node
+            object loop, None (default) picks the kernel when one
+            exists.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        num_nodes: int,
+        num_resources: int,
+        *,
+        policy: str = "adaptive",
+        policy_factory: Optional[PolicyFactory] = None,
+        forecaster_factory: Optional[ForecasterFactory] = None,
+        reorder_window: int = 0,
+        vectorized: Optional[bool] = None,
+    ) -> None:
+        if num_nodes < 1 or num_resources < 1:
+            raise ConfigurationError(
+                "num_nodes and num_resources must be >= 1"
+            )
+        if reorder_window < 0:
+            raise ConfigurationError(
+                f"reorder_window must be >= 0, got {reorder_window}"
+            )
+        self.config = config
+        self.num_nodes = int(num_nodes)
+        self.num_resources = int(num_resources)
+        self.reorder_window = int(reorder_window)
+        self._custom_policy_factory = policy_factory is not None
+        self._custom_forecaster_factory = forecaster_factory is not None
+        if policy_factory is None:
+            self.policy = policy
+            builder = TRANSMISSION_POLICIES.get(policy)
+
+            def policy_factory(node_id: int) -> TransmissionPolicy:
+                return builder(config.transmission, node_id)
+
+            kernel = (
+                SLOT_KERNELS.create(policy, config.transmission)
+                if policy in SLOT_KERNELS else None
+            )
+        else:
+            self.policy = None
+            kernel = None
+        self._policy_factory: PolicyFactory = policy_factory
+        if vectorized is None:
+            vectorized = kernel is not None
+        if vectorized and kernel is None:
+            raise ConfigurationError(
+                "vectorized sessions need a registered slot kernel for "
+                f"the policy; {self.policy!r} has none (available: "
+                f"{', '.join(SLOT_KERNELS.available())}) — pass "
+                "vectorized=False for the object loop"
+            )
+        self.vectorized = bool(vectorized)
+        self._kernel = kernel if self.vectorized else None
+
+        # Live state: one columnar fleet, the channel's counters backed
+        # by its message_counts column, the store and pipeline as views
+        # over the same memory.
+        self.fleet = FleetState(self.num_nodes, self.num_resources)
+        self.channel = Channel(node_counts=self.fleet.message_counts)
+        self.store = CentralStore(fleet=self.fleet)
+        self.pipeline = OnlinePipeline(
+            self.num_nodes,
+            self.num_resources,
+            config,
+            forecaster_factory=forecaster_factory,
+        )
+        self._nodes: Optional[List[LocalNode]] = None
+        if not self.vectorized:
+            self._materialize_nodes()
+        self._time = 0
+        self.late_applied = 0
+        self.late_dropped = 0
+        # Latest per-node forecasts {h: (N, d)} — the forecast() surface.
+        # Checkpointed, so a resumed session answers forecast queries
+        # immediately instead of waiting for the next ingest.
+        self._forecasts: Optional[Dict[int, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def time(self) -> int:
+        """Number of closed slots (the ingestion frontier)."""
+        return self._time
+
+    @property
+    def transport_stats(self) -> TransportStats:
+        """Cumulative message/byte counters of this session."""
+        return self.channel.stats
+
+    @property
+    def empirical_frequency(self) -> float:
+        """Fleet-average transmission frequency over closed slots."""
+        if self._time == 0:
+            return 0.0
+        return self.channel.stats.messages / (self._time * self.num_nodes)
+
+    @property
+    def nodes(self) -> List[LocalNode]:
+        """Per-node :class:`LocalNode` views over the fleet columns.
+
+        In vectorized sessions these are materialized on first access
+        for compatibility; their *policy objects* are construction-time
+        artifacts whose internal counters do not advance (the
+        authoritative policy state is the fleet's ``policy_state``
+        column).  In object-loop sessions they are the live actors.
+        """
+        if self._nodes is None:
+            self._materialize_nodes()
+        return self._nodes
+
+    def _materialize_nodes(self) -> None:
+        self._nodes = [
+            self.fleet.node_view(i, self._policy_factory(i))
+            for i in range(self.num_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self,
+        values: np.ndarray,
+        node_ids: Optional[Sequence[int]] = None,
+        t: Optional[int] = None,
+    ) -> Optional[StepOutput]:
+        """Ingest one slot of measurements — full, partial, or late.
+
+        Args:
+            values: Fresh measurements, shape ``(n, d)`` (or ``(n,)``
+                when d = 1), one row per reporting node.
+            node_ids: The reporting nodes, aligned with ``values``
+                rows.  None means a full slot (``n`` must equal N, row
+                ``i`` is node ``i``).
+            t: The slot the measurements belong to.  None or the
+                current frontier closes a new slot; an earlier value is
+                a late arrival (see the module docstring for the
+                apply/drop contract).
+
+        Returns:
+            The slot's :class:`~repro.core.pipeline.StepOutput` (with
+            per-slot transport delta and timings) for frontier calls;
+            None for late arrivals, which close no slot.
+        """
+        started = _time.perf_counter()
+        x = np.asarray(values, dtype=float)
+        if x.ndim == 1:
+            x = x[:, np.newaxis]
+        if x.ndim != 2 or x.shape[1] != self.num_resources:
+            raise DataError(
+                f"values must be (n, {self.num_resources}), got "
+                f"{np.asarray(values).shape}"
+            )
+        if not np.isfinite(x).all():
+            raise DataError("values contain non-finite measurements")
+        if node_ids is None:
+            ids = None
+            if x.shape[0] != self.num_nodes:
+                raise DataError(
+                    f"a full slot needs {self.num_nodes} rows, got "
+                    f"{x.shape[0]} (pass node_ids for a partial slot)"
+                )
+        else:
+            ids = np.asarray(node_ids, dtype=np.int64).ravel()
+            if ids.shape[0] != x.shape[0]:
+                raise DataError(
+                    f"{ids.shape[0]} node_ids for {x.shape[0]} value rows"
+                )
+            if ids.size and (
+                ids.min() < 0 or ids.max() >= self.num_nodes
+            ):
+                raise DataError(
+                    f"node_ids outside [0, {self.num_nodes})"
+                )
+            if np.unique(ids).size != ids.size:
+                raise DataError("node_ids contains duplicates")
+        slot = self._time if t is None else int(t)
+        if slot > self._time:
+            raise DataError(
+                f"slot {slot} is ahead of the frontier {self._time}; "
+                "slots close in order"
+            )
+        if slot < self._time:
+            self._ingest_late(x, ids, slot)
+            return None
+        return self._ingest_frontier(x, ids, started)
+
+    def _ingest_frontier(
+        self, x: np.ndarray, ids: Optional[np.ndarray], started: float
+    ) -> StepOutput:
+        """Close one slot at the frontier: transmit, store, cluster,
+        train/update, forecast."""
+        slot = self._time
+        stage_before = dict(self.pipeline.stage_seconds)
+        if self._kernel is not None:
+            counts = self._transmit_vectorized(x, ids, slot)
+        else:
+            counts = self._transmit_objects(x, ids, slot)
+        collection_seconds = _time.perf_counter() - started
+
+        output = self.pipeline.step(self.fleet.stored.copy())
+        self._time += 1
+        self._forecasts = output.node_forecasts
+
+        output.transport = TransportStats.from_node_counts(
+            counts, self.num_resources
+        )
+        timings = {"collection": collection_seconds}
+        for stage, seconds in self.pipeline.stage_seconds.items():
+            timings[stage] = seconds - stage_before.get(stage, 0.0)
+        timings["total"] = _time.perf_counter() - started
+        output.timings = timings
+        return output
+
+    def _transmit_vectorized(
+        self, x: np.ndarray, ids: Optional[np.ndarray], slot: int
+    ) -> np.ndarray:
+        """One batched slot-kernel call over the active nodes' columns.
+
+        Returns this slot's per-node delivered-message counts ``(N,)``.
+        """
+        fleet = self.fleet
+        if ids is None:
+            # Full slot: operate on the columns directly (the kernel
+            # mutates policy_state in place, no gather/scatter needed).
+            transmit = self._kernel(
+                x, fleet.stored, fleet.observed, fleet.policy_state,
+                fleet.times,
+            )
+            fleet.times += 1
+            senders = transmit
+        else:
+            state = fleet.policy_state[ids]
+            transmit = self._kernel(
+                x, fleet.stored[ids], fleet.observed[ids], state,
+                fleet.times[ids],
+            )
+            fleet.policy_state[ids] = state
+            fleet.times[ids] += 1
+            senders = ids[transmit]
+        fleet.stored[senders] = x[transmit]
+        fleet.observed[senders] = True
+        fleet.last_update[senders] = slot
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        counts[senders] = 1
+        self.channel.record_batch(counts, self.num_resources)
+        return counts
+
+    def _transmit_objects(
+        self, x: np.ndarray, ids: Optional[np.ndarray], slot: int
+    ) -> np.ndarray:
+        """Faithful per-node object loop (custom/heterogeneous policies).
+
+        Returns this slot's per-node delivered-message counts ``(N,)``.
+        """
+        nodes = self.nodes
+        id_list = (
+            range(self.num_nodes) if ids is None else ids.tolist()
+        )
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        for row, i in enumerate(id_list):
+            message = nodes[i].observe(x[row])
+            if message is not None:
+                self.channel.send(message)
+                counts[i] = 1
+        self.store.apply(self.channel.drain(), now=slot)
+        return counts
+
+    def _ingest_late(
+        self, x: np.ndarray, ids: Optional[np.ndarray], slot: int
+    ) -> None:
+        """Apply or drop a late arrival for an already-closed slot."""
+        if ids is None:
+            ids = np.arange(self.num_nodes, dtype=np.int64)
+        if self._time - slot > self.reorder_window:
+            self.late_dropped += int(ids.size)
+            return
+        fleet = self.fleet
+        fresh = fleet.last_update[ids] < slot
+        apply_ids = ids[fresh]
+        fleet.ensure_dim(self.num_resources)
+        fleet.stored[apply_ids] = x[fresh]
+        fleet.observed[apply_ids] = True
+        fleet.last_update[apply_ids] = slot
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        counts[apply_ids] = 1
+        self.channel.record_batch(counts, self.num_resources)
+        self.late_applied += int(apply_ids.size)
+        self.late_dropped += int(ids.size - apply_ids.size)
+
+    # ------------------------------------------------------------------
+    # Forecasts on demand
+    # ------------------------------------------------------------------
+
+    def forecast(
+        self, horizons: Optional[Sequence[int]] = None
+    ) -> Dict[int, np.ndarray]:
+        """Current per-node forecasts ``{h: (N, d)}``.
+
+        Available as soon as forecasting starts, including immediately
+        after a resume (the latest forecasts travel in the checkpoint).
+
+        Args:
+            horizons: Horizons to return, each in ``1..max_horizon``;
+                None returns every available horizon.
+
+        Raises:
+            NotFittedError: Before forecasting starts (no slot closed
+                yet, or still inside the initial collection phase).
+        """
+        available = self._forecasts
+        if available is None:
+            raise NotFittedError(
+                "no forecasts yet: the session is still in its initial "
+                f"collection phase "
+                f"({self.config.forecasting.initial_collection} slots)"
+            )
+        if horizons is None:
+            return dict(available)
+        selected = {}
+        for h in horizons:
+            if h not in available:
+                raise DataError(
+                    f"horizon {h} not available; forecasts cover "
+                    f"1..{self.config.forecasting.max_horizon}"
+                )
+            selected[h] = available[h]
+        return selected
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Checkpoint:
+        """Capture the session as a versioned, portable checkpoint.
+
+        Composes the ``get_state`` contracts of every owned component.
+        Resuming the result (:meth:`repro.api.Engine.resume`) yields a
+        session whose every future output — forecasts, cluster
+        assignments, transport counters — is bit-identical to this one
+        continuing uninterrupted.
+        """
+        if self.channel.pending:
+            raise CheckpointError(
+                f"{self.channel.pending} undelivered messages in the "
+                "channel; snapshot between slots, not mid-slot"
+            )
+        state: Dict[str, object] = {
+            "fleet": self.fleet.get_state(),
+            "transport": self.channel.stats.get_state(),
+            "pipeline": self.pipeline.get_state(),
+            "policies": (
+                None if self.vectorized
+                else [node.policy.get_state() for node in self.nodes]
+            ),
+            # The latest forecasts, so a resumed session serves
+            # forecast() immediately (JSON keys must be strings, hence
+            # the parallel horizon/value lists).
+            "forecasts": (
+                None if self._forecasts is None else {
+                    "horizons": sorted(self._forecasts),
+                    "values": [
+                        self._forecasts[h] for h in sorted(self._forecasts)
+                    ],
+                }
+            ),
+        }
+        session = {
+            "num_nodes": self.num_nodes,
+            "num_resources": self.num_resources,
+            "time": self._time,
+            "policy": self.policy,
+            "custom_policy_factory": self._custom_policy_factory,
+            "custom_forecaster_factory": self._custom_forecaster_factory,
+            "reorder_window": self.reorder_window,
+            "vectorized": self.vectorized,
+            "late_applied": self.late_applied,
+            "late_dropped": self.late_dropped,
+        }
+        return Checkpoint(
+            config=self.config.to_dict(),
+            session=session,
+            state=state,
+            version=CHECKPOINT_FORMAT_VERSION,
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Convenience: :meth:`snapshot` and write it to ``path``."""
+        return self.snapshot().save(path)
+
+    def restore(self, checkpoint: Checkpoint) -> None:
+        """Load a checkpoint's state into this (freshly built) session.
+
+        The session must have been constructed with the checkpoint's
+        shape and configuration — :meth:`repro.api.Engine.resume` is
+        the validated front door.
+        """
+        meta = checkpoint.session
+        if (
+            int(meta["num_nodes"]) != self.num_nodes
+            or int(meta["num_resources"]) != self.num_resources
+        ):
+            raise CheckpointError(
+                f"checkpoint holds a {meta['num_nodes']}x"
+                f"{meta['num_resources']} fleet, session is "
+                f"{self.num_nodes}x{self.num_resources}"
+            )
+        state = checkpoint.state
+        self.fleet.set_state(state["fleet"])
+        self.channel.stats.set_state(state["transport"])
+        self.pipeline.set_state(state["pipeline"])
+        policy_states = state["policies"]
+        if not self.vectorized:
+            if policy_states is None:
+                raise CheckpointError(
+                    "checkpoint was taken from a vectorized session and "
+                    "carries no per-node policy objects; resume with "
+                    "vectorized=True"
+                )
+            for node, policy_state in zip(self.nodes, policy_states):
+                node.policy.set_state(policy_state)
+        self._time = int(meta["time"])
+        self.reorder_window = int(meta["reorder_window"])
+        self.late_applied = int(meta["late_applied"])
+        self.late_dropped = int(meta["late_dropped"])
+        forecasts = state.get("forecasts")
+        self._forecasts = (
+            None if forecasts is None else {
+                int(h): np.asarray(values)
+                for h, values in zip(
+                    forecasts["horizons"], forecasts["values"]
+                )
+            }
+        )
+
+
+__all__ = ["PolicyFactory", "StreamSession"]

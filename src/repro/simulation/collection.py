@@ -27,9 +27,15 @@ from repro.registry import COLLECTION_BACKENDS, register_collection_backend
 from repro.simulation.controller import CentralStore
 from repro.simulation.fleet import FleetState
 from repro.simulation.transport import Channel, TransportStats
-from repro.transmission.adaptive import AdaptiveTransmissionPolicy
+from repro.transmission.adaptive import (
+    AdaptiveTransmissionPolicy,
+    adaptive_transmit_slot,
+)
 from repro.transmission.base import TransmissionPolicy
-from repro.transmission.uniform import UniformTransmissionPolicy
+from repro.transmission.uniform import (
+    UniformTransmissionPolicy,
+    uniform_transmit_slot,
+)
 
 
 @dataclass
@@ -210,11 +216,12 @@ def _adaptive_recurrence(
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Fleet-wide Lyapunov drift-plus-penalty recurrence.
 
-    Evaluates, per slot, the same two objective values as
-    :meth:`AdaptiveTransmissionPolicy.decide` for every node at once
-    (per-node budgets and control parameters are supported), including
-    the forced first-slot transmission charged by
-    :meth:`~repro.transmission.adaptive.AdaptiveTransmissionPolicy.first_transmission`.
+    Iterates :func:`~repro.transmission.adaptive.adaptive_transmit_slot`
+    — the same batched kernel streaming sessions run per slot — over a
+    whole trace.  Per-node budgets and control parameters are supported,
+    and the forced first-slot transmission is charged exactly as
+    :meth:`~repro.transmission.adaptive.AdaptiveTransmissionPolicy.
+    first_transmission` does.
 
     Returns:
         ``(stored, decisions, queue_samples, queues)`` where
@@ -226,24 +233,16 @@ def _adaptive_recurrence(
     decisions = np.zeros((num_steps, num_nodes), dtype=int)
     queue_samples = np.empty((num_steps, num_nodes))
     queues = np.zeros(num_nodes)
-    stored_now = data[0].copy()
+    observed = np.zeros(num_nodes, dtype=bool)
+    stored_now = np.zeros_like(data[0])
 
-    # Slot 0: forced transmissions, charged to the budget (penalty F=0 so
-    # the policy itself would choose to skip; the node forces the send).
-    queue_samples[0] = queues
-    decisions[0, :] = 1
-    stored[0] = stored_now
-    queues = queues + (1.0 - budgets)
-
-    for t in range(1, num_steps):
+    for t in range(num_steps):
         queue_samples[t] = queues
-        v_t = v0s * float(t + 1) ** gammas
-        penalty = ((stored_now - data[t]) ** 2).sum(axis=1) / dim
-        objective_skip = v_t * penalty - queues * budgets
-        objective_send = queues * (1.0 - budgets)
-        transmit = objective_send < objective_skip
+        transmit = adaptive_transmit_slot(
+            data[t], stored_now, observed, queues, t, budgets, v0s, gammas
+        )
         stored_now = np.where(transmit[:, np.newaxis], data[t], stored_now)
-        queues = queues + (transmit.astype(float) - budgets)
+        observed |= transmit
         decisions[t] = transmit
         stored[t] = stored_now
     return stored, decisions, queue_samples, queues
@@ -254,22 +253,23 @@ def _uniform_recurrence(
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Fleet-wide error-diffusion uniform-sampling recurrence.
 
+    Iterates :func:`~repro.transmission.uniform.uniform_transmit_slot`
+    over a whole trace.
+
     Returns:
         ``(stored, decisions, accumulator)`` with the final per-node
         accumulator state.
     """
     num_steps, num_nodes, _ = data.shape
     accumulator = np.asarray(phases, dtype=float).copy()
-    stored_now = data[0].copy()
+    observed = np.zeros(num_nodes, dtype=bool)
+    stored_now = np.zeros_like(data[0])
     stored = np.empty_like(data)
     decisions = np.zeros((num_steps, num_nodes), dtype=int)
-    decisions[0, :] = 1  # forced initial transmission
-    stored[0] = stored_now
-    for t in range(1, num_steps):
-        accumulator += budgets
-        transmit = accumulator >= 1.0
-        accumulator[transmit] -= 1.0
+    for t in range(num_steps):
+        transmit = uniform_transmit_slot(observed, accumulator, budgets)
         stored_now = np.where(transmit[:, np.newaxis], data[t], stored_now)
+        observed |= transmit
         decisions[t] = transmit
         stored[t] = stored_now
     return stored, decisions, accumulator

@@ -154,6 +154,54 @@ class FleetState:
             self.stored[where] = 0.0
 
     # ------------------------------------------------------------------
+    # Checkpoint state contract
+    # ------------------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Serializable copies of every fleet column.
+
+        Together with :meth:`set_state` this is the fleet's checkpoint
+        contract: restoring the returned dict into a fresh
+        ``FleetState(num_nodes)`` reproduces the columns bit-for-bit.
+        """
+        return {
+            "num_nodes": self.num_nodes,
+            "dim": self._dim,
+            "stored": None if self.stored is None else self.stored.copy(),
+            "observed": self.observed.copy(),
+            "times": self.times.copy(),
+            "last_update": self.last_update.copy(),
+            "message_counts": self.message_counts.copy(),
+            "policy_state": self.policy_state.copy(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore columns captured by :meth:`get_state`, *in place*.
+
+        Writes into the existing column arrays (never rebinding them),
+        so shared references — the channel's counter column, node views
+        — keep aliasing the fleet after a restore.
+        """
+        if int(state["num_nodes"]) != self.num_nodes:
+            raise SimulationError(
+                f"state holds {state['num_nodes']} nodes, fleet has "
+                f"{self.num_nodes}"
+            )
+        if state["dim"] is not None:
+            self.ensure_dim(int(state["dim"]))
+            self.stored[...] = state["stored"]
+        elif self._dim is not None:
+            raise SimulationError(
+                f"state is undimensioned but the fleet is fixed at "
+                f"d={self._dim}"
+            )
+        self.observed[...] = state["observed"]
+        self.times[...] = state["times"]
+        self.last_update[...] = state["last_update"]
+        self.message_counts[...] = state["message_counts"]
+        self.policy_state[...] = state["policy_state"]
+
+    # ------------------------------------------------------------------
     # Views and assembly
     # ------------------------------------------------------------------
 

@@ -183,6 +183,46 @@ class TransportStats:
         self._payload_floats += messages * int(floats_per_message)
         self._node_counts[: per_node.shape[0]] += per_node
 
+    # -- checkpoint state contract --------------------------------------
+
+    def get_state(self) -> dict:
+        """Serializable aggregate counters.
+
+        The per-node column is *not* included: when the stats are fixed
+        over a fleet's ``message_counts`` column, the fleet's own state
+        carries it (one array, one owner); growable standalone stats
+        include it explicitly.
+        """
+        state = {
+            "messages": self._messages,
+            "payload_floats": self._payload_floats,
+        }
+        if not self._fixed:
+            state["node_counts"] = self._node_counts.copy()
+        return state
+
+    def set_state(self, state: dict) -> None:
+        """Restore counters captured by :meth:`get_state`.
+
+        For fleet-backed stats the node-count column must already hold
+        the restored fleet state (restore the fleet first); the totals
+        are validated against it so a torn restore fails loudly.
+        """
+        messages = int(state["messages"])
+        if self._fixed:
+            column_total = int(self._node_counts.sum())
+            if messages != column_total:
+                raise SimulationError(
+                    f"transport state claims {messages} messages but the "
+                    f"fleet's counter column sums to {column_total}; "
+                    "restore the fleet state first"
+                )
+        else:
+            counts = np.asarray(state["node_counts"], dtype=np.int64)
+            self._node_counts = counts.copy()
+        self._messages = messages
+        self._payload_floats = int(state["payload_floats"])
+
     # -- shard reduction ------------------------------------------------
 
     @classmethod

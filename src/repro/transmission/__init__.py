@@ -1,22 +1,42 @@
 """Transmission policies: when does a local node send its measurement.
 
 Implements the paper's adaptive Lyapunov drift-plus-penalty policy
-(Sec. V-A) and the uniform-sampling baseline it is compared against in
-Fig. 4.
+(Sec. V-A), the uniform-sampling baseline it is compared against in
+Fig. 4, the deadband (send-on-delta) baseline of the related-work
+ablation, and the perfect (always-transmit) reference.
+
+Each policy exists in two bit-identical forms: the per-node
+:class:`~repro.transmission.base.TransmissionPolicy` object, and a
+vectorized *slot kernel* (``*_transmit_slot``) evaluating one slot's
+decisions for a whole fleet in one array operation — registered in
+:data:`repro.registry.SLOT_KERNELS` and used by the batch collection
+recurrences and streaming sessions.
 """
 
-from repro.transmission.adaptive import AdaptiveTransmissionPolicy
+from repro.transmission.adaptive import (
+    AdaptiveTransmissionPolicy,
+    adaptive_transmit_slot,
+)
 from repro.transmission.base import TransmissionPolicy
 from repro.transmission.deadband import (
     DeadbandTransmissionPolicy,
+    deadband_transmit_slot,
     simulate_deadband_collection,
 )
-from repro.transmission.uniform import UniformTransmissionPolicy
+from repro.transmission.perfect import PerfectTransmissionPolicy
+from repro.transmission.uniform import (
+    UniformTransmissionPolicy,
+    uniform_transmit_slot,
+)
 
 __all__ = [
     "AdaptiveTransmissionPolicy",
     "TransmissionPolicy",
     "DeadbandTransmissionPolicy",
-    "simulate_deadband_collection",
+    "PerfectTransmissionPolicy",
     "UniformTransmissionPolicy",
+    "adaptive_transmit_slot",
+    "deadband_transmit_slot",
+    "simulate_deadband_collection",
+    "uniform_transmit_slot",
 ]

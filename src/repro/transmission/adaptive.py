@@ -18,14 +18,75 @@ where the stored value has drifted most from the truth.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, Dict, List, Union
 
 import numpy as np
 
 from repro.core.config import TransmissionConfig
 from repro.exceptions import DataError
-from repro.registry import register_transmission_policy
+from repro.registry import register_slot_kernel, register_transmission_policy
 from repro.transmission.base import TransmissionPolicy
+
+#: Per-node parameters accepted by the batched kernels: one shared
+#: scalar or a per-node ``(n,)`` array.
+Param = Union[float, np.ndarray]
+
+
+def adaptive_transmit_slot(
+    x: np.ndarray,
+    stored: np.ndarray,
+    observed: np.ndarray,
+    queues: np.ndarray,
+    times: Union[int, np.ndarray],
+    budgets: Param,
+    v0s: Param,
+    gammas: Param,
+) -> np.ndarray:
+    """One fleet-wide slot of the drift-plus-penalty recurrence.
+
+    Evaluates, for a batch of ``n`` nodes at once, exactly what
+    :meth:`AdaptiveTransmissionPolicy.decide` (or
+    :meth:`~AdaptiveTransmissionPolicy.first_transmission` for nodes
+    that have not observed anything yet) computes per node — element-wise
+    operations keep every node's arithmetic bit-identical to the scalar
+    path.  Shared by the whole-trace collection recurrence and the
+    streaming session's vectorized slot.
+
+    Args:
+        x: Fresh measurements ``x_t``, shape ``(n, d)``.
+        stored: The nodes' mirrors of the stored values ``z_t``, shape
+            ``(n, d)`` (rows of not-yet-observed nodes are ignored).
+        observed: Bool ``(n,)`` — False forces the initial transmission.
+        queues: Virtual queues ``Q_i(t)``, shape ``(n,)``; updated in
+            place with this slot's drift.
+        times: Per-node decision counts (``(n,)`` or a shared scalar).
+        budgets: Budget ``B`` (scalar or per-node).
+        v0s: Control weight ``V0`` (scalar or per-node).
+        gammas: Growth exponent ``γ`` (scalar or per-node).
+
+    Returns:
+        Bool ``(n,)`` transmission decisions ``β_{i,t}``.
+    """
+    dim = x.shape[1]
+    v_t = v0s * (times + 1.0) ** gammas
+    penalty = ((stored - x) ** 2).sum(axis=1) / dim
+    objective_skip = v_t * penalty - queues * budgets
+    objective_send = queues * (1.0 - budgets)
+    transmit = (objective_send < objective_skip) | ~observed
+    queues += transmit - budgets
+    return transmit
+
+
+@register_slot_kernel("adaptive")
+def _adaptive_slot_kernel(config: TransmissionConfig) -> Callable:
+    budget, v0, gamma = config.budget, config.v0, config.gamma
+
+    def kernel(x, stored, observed, state, times):
+        return adaptive_transmit_slot(
+            x, stored, observed, state, times, budget, v0, gamma
+        )
+
+    return kernel
 
 
 class AdaptiveTransmissionPolicy(TransmissionPolicy):
@@ -119,6 +180,13 @@ class AdaptiveTransmissionPolicy(TransmissionPolicy):
         )
         self._queue = float(final_queue)
         self._time += int(np.asarray(decisions).size)
+
+    def get_state(self) -> Dict[str, object]:
+        return {"queue": self._queue, "time": self._time}
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        self._queue = float(state["queue"])
+        self._time = int(state["time"])
 
     def reset(self) -> None:
         super().reset()

@@ -12,14 +12,55 @@ experiment).
 
 from __future__ import annotations
 
+from typing import Callable, Union
+
 import numpy as np
 
 from repro.exceptions import ConfigurationError, DataError
 from repro.registry import (
     register_collection_backend,
+    register_slot_kernel,
     register_transmission_policy,
 )
 from repro.transmission.base import TransmissionPolicy
+
+
+def deadband_transmit_slot(
+    x: np.ndarray,
+    stored: np.ndarray,
+    observed: np.ndarray,
+    threshold: Union[float, np.ndarray],
+) -> np.ndarray:
+    """One fleet-wide deadband slot: transmit on drift beyond ``δ²``.
+
+    The batched form of :meth:`DeadbandTransmissionPolicy.decide`
+    (fresh nodes transmit unconditionally, like the forced first
+    transmission).  Shared by the whole-trace deadband collection and
+    the streaming session's vectorized slot.
+
+    Args:
+        x: Fresh measurements, shape ``(n, d)``.
+        stored: Stored values ``z_t``, shape ``(n, d)``.
+        observed: Bool ``(n,)`` — False forces the initial transmission.
+        threshold: The *squared* deadband half-width ``δ²`` (scalar or
+            per-node), pre-squared by the caller so the comparison is
+            bit-identical to the scalar policy's ``delta**2``.
+
+    Returns:
+        Bool ``(n,)`` transmission decisions.
+    """
+    deviation = ((stored - x) ** 2).mean(axis=1)
+    return (deviation > threshold) | ~observed
+
+
+@register_slot_kernel("deadband")
+def _deadband_slot_kernel(config) -> Callable:
+    threshold = config.deadband_delta ** 2
+
+    def kernel(x, stored, observed, state, times):
+        return deadband_transmit_slot(x, stored, observed, threshold)
+
+    return kernel
 
 
 class DeadbandTransmissionPolicy(TransmissionPolicy):
@@ -66,16 +107,17 @@ def simulate_deadband_collection(trace: np.ndarray, delta: float):
         raise ConfigurationError(f"delta must be positive, got {delta}")
     data = validate_trace(trace)
     num_steps, num_nodes, _ = data.shape
-    stored_now = data[0].copy()
+    stored_now = np.zeros_like(data[0])
+    observed = np.zeros(num_nodes, dtype=bool)
     stored = np.empty_like(data)
     decisions = np.zeros((num_steps, num_nodes), dtype=int)
-    decisions[0, :] = 1
-    stored[0] = stored_now
     threshold = delta**2
-    for t in range(1, num_steps):
-        deviation = np.mean((stored_now - data[t]) ** 2, axis=1)
-        transmit = deviation > threshold
+    for t in range(num_steps):
+        transmit = deadband_transmit_slot(
+            data[t], stored_now, observed, threshold
+        )
         stored_now = np.where(transmit[:, np.newaxis], data[t], stored_now)
+        observed |= transmit
         decisions[t] = transmit
         stored[t] = stored_now
     return CollectionResult(stored=stored, decisions=decisions)

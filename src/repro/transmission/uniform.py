@@ -8,11 +8,51 @@ long-run empirical frequency still converges to exactly ``B``.
 
 from __future__ import annotations
 
+from typing import Callable, Dict, Union
+
 import numpy as np
 
 from repro.exceptions import ConfigurationError
-from repro.registry import register_transmission_policy
+from repro.registry import register_slot_kernel, register_transmission_policy
 from repro.transmission.base import TransmissionPolicy
+
+
+def uniform_transmit_slot(
+    observed: np.ndarray,
+    accumulators: np.ndarray,
+    budgets: Union[float, np.ndarray],
+) -> np.ndarray:
+    """One fleet-wide slot of the error-diffusion sampling recurrence.
+
+    The batched form of :meth:`UniformTransmissionPolicy.decide` (nodes
+    past their forced first transmission advance their accumulator;
+    fresh nodes transmit without touching it, exactly like
+    ``first_transmission``).  Shared by the whole-trace collection
+    recurrence and the streaming session's vectorized slot.
+
+    Args:
+        observed: Bool ``(n,)`` — False forces the initial transmission.
+        accumulators: Rate accumulators, shape ``(n,)``; advanced in
+            place for observed nodes.
+        budgets: Target frequency ``B`` (scalar or per-node ``(n,)``).
+
+    Returns:
+        Bool ``(n,)`` transmission decisions.
+    """
+    accumulators += budgets * observed
+    crossed = (accumulators >= 1.0) & observed
+    accumulators[crossed] -= 1.0
+    return crossed | ~observed
+
+
+@register_slot_kernel("uniform")
+def _uniform_slot_kernel(config) -> Callable:
+    budget = config.budget
+
+    def kernel(x, stored, observed, state, times):
+        return uniform_transmit_slot(observed, state, budget)
+
+    return kernel
 
 
 class UniformTransmissionPolicy(TransmissionPolicy):
@@ -62,6 +102,12 @@ class UniformTransmissionPolicy(TransmissionPolicy):
         """
         self.record_batch(decisions)
         self._accumulator = float(final_accumulator)
+
+    def get_state(self) -> Dict[str, object]:
+        return {"accumulator": self._accumulator}
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        self._accumulator = float(state["accumulator"])
 
     def reset(self) -> None:
         super().reset()

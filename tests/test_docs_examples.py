@@ -52,11 +52,41 @@ class TestReadmeSnippet:
         )
         assert pooled.rmse_by_horizon == result.rmse_by_horizon
 
+    def test_sessions_snippet_runs(self, tmp_path):
+        # The code block from README.md §Sessions and checkpoints, at
+        # tiny scale.
+        import numpy as np
+
+        from repro import Engine, PipelineConfig
+
+        config = PipelineConfig.small(
+            initial_collection=20, retrain_interval=20, max_horizon=3,
+        )
+        engine = Engine(config)
+        session = engine.session(
+            num_nodes=12, num_resources=1, reorder_window=2
+        )
+        rng = np.random.default_rng(0)
+        trace = np.clip(
+            0.5 + np.cumsum(rng.normal(0, 0.04, (30, 12)), axis=0), 0, 1
+        )
+        for t in range(30):
+            session.ingest(trace[t])
+        session.ingest(trace[29][[3]], node_ids=[3])
+        session.ingest(trace[28][[9]], node_ids=[9], t=29)
+        forecasts = session.forecast(horizons=[1, 3])
+        assert forecasts[1].shape == (12, 1)
+        path = session.save(tmp_path / "monitor.ckpt")
+        resumed = Engine(config).resume(path)
+        assert resumed.time == session.time
+        assert resumed.late_applied + resumed.late_dropped == 1
+
     def test_readme_migration_table_mentions_old_entry_points(self):
         with open(os.path.join(REPO_ROOT, "README.md")) as handle:
             text = handle.read()
         for name in ("run_pipeline", "MonitoringSystem", "Engine",
-                     "from_config", "registry"):
+                     "from_config", "registry", "session.ingest",
+                     "resume"):
             assert name in text, name
 
 

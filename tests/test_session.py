@@ -1,0 +1,390 @@
+"""Tests for the stateful serving API (repro.session.StreamSession).
+
+Pins the vectorized slot-kernel hot path **bit-identical** to the
+faithful per-node object loop on randomized traces (hypothesis), and
+covers the documented partial-slot and late-arrival semantics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Engine
+from repro.core.config import (
+    ClusteringConfig,
+    ForecastingConfig,
+    PipelineConfig,
+    TransmissionConfig,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    DataError,
+    NotFittedError,
+)
+from repro.session import StreamSession
+from repro.simulation.transport import TransportStats
+
+POLICIES = ("adaptive", "uniform", "deadband", "perfect")
+
+
+def config(budget=0.3, initial=15, horizon=2, clusters=2, model="sample_hold"):
+    return PipelineConfig(
+        transmission=TransmissionConfig(budget=budget),
+        clustering=ClusteringConfig(num_clusters=clusters, seed=0),
+        forecasting=ForecastingConfig(
+            model=model,
+            max_horizon=horizon,
+            initial_collection=initial,
+            retrain_interval=initial,
+        ),
+    )
+
+
+def walk_trace(steps=40, nodes=6, dims=1, seed=0):
+    rng = np.random.default_rng(seed)
+    trace = np.clip(
+        0.5 + np.cumsum(rng.normal(0, 0.04, (steps, nodes, dims)), axis=0),
+        0, 1,
+    )
+    return trace[:, :, 0] if dims == 1 else trace
+
+
+def assert_outputs_equal(a, b):
+    np.testing.assert_array_equal(a.stored, b.stored)
+    assert len(a.assignments) == len(b.assignments)
+    for x, y in zip(a.assignments, b.assignments):
+        np.testing.assert_array_equal(x.labels, y.labels)
+        np.testing.assert_array_equal(x.centroids, y.centroids)
+    assert (a.node_forecasts is None) == (b.node_forecasts is None)
+    if a.node_forecasts is not None:
+        assert set(a.node_forecasts) == set(b.node_forecasts)
+        for h in a.node_forecasts:
+            np.testing.assert_array_equal(
+                a.node_forecasts[h], b.node_forecasts[h]
+            )
+
+
+class TestVectorizedObjectEquivalence:
+    """The slot-kernel path is bit-identical to the per-node loop."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_full_slots_bit_identical(self, policy, seed):
+        cfg = config()
+        trace = walk_trace(steps=30, seed=seed)
+        fast = StreamSession(cfg, 6, 1, policy=policy, vectorized=True)
+        slow = StreamSession(cfg, 6, 1, policy=policy, vectorized=False)
+        assert fast.vectorized and not slow.vectorized
+        for t in range(trace.shape[0]):
+            assert_outputs_equal(fast.ingest(trace[t]), slow.ingest(trace[t]))
+        assert fast.transport_stats.messages == slow.transport_stats.messages
+        assert (
+            fast.transport_stats.payload_floats
+            == slow.transport_stats.payload_floats
+        )
+        np.testing.assert_array_equal(
+            fast.fleet.message_counts, slow.fleet.message_counts
+        )
+        np.testing.assert_array_equal(
+            fast.fleet.last_update, slow.fleet.last_update
+        )
+        np.testing.assert_array_equal(fast.fleet.times, slow.fleet.times)
+        if policy in ("adaptive", "uniform"):
+            np.testing.assert_array_equal(
+                fast.fleet.policy_state,
+                [node.policy.fleet_scalar_state for node in slow.nodes],
+            )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_partial_slots_bit_identical(self, seed):
+        cfg = config()
+        rng = np.random.default_rng(seed)
+        trace = walk_trace(steps=25, nodes=8, seed=seed)
+        fast = StreamSession(cfg, 8, 1, vectorized=True)
+        slow = StreamSession(cfg, 8, 1, vectorized=False)
+        for t in range(trace.shape[0]):
+            present = rng.random(8) < 0.7
+            ids = np.flatnonzero(present)
+            if ids.size == 0:
+                ids = np.asarray([int(rng.integers(8))])
+            a = fast.ingest(trace[t][ids], node_ids=ids)
+            b = slow.ingest(trace[t][ids], node_ids=ids)
+            assert_outputs_equal(a, b)
+        assert fast.transport_stats.messages == slow.transport_stats.messages
+        np.testing.assert_array_equal(fast.fleet.times, slow.fleet.times)
+        np.testing.assert_array_equal(
+            fast.fleet.policy_state,
+            [node.policy.fleet_scalar_state for node in slow.nodes],
+        )
+
+    def test_multiresource_bit_identical(self):
+        cfg = config()
+        trace = walk_trace(steps=25, nodes=5, dims=3, seed=3)
+        fast = StreamSession(cfg, 5, 3, vectorized=True)
+        slow = StreamSession(cfg, 5, 3, vectorized=False)
+        for t in range(trace.shape[0]):
+            assert_outputs_equal(fast.ingest(trace[t]), slow.ingest(trace[t]))
+
+
+class TestEngineStepShim:
+    def test_step_is_a_session_slot(self):
+        cfg = config()
+        trace = walk_trace(seed=5)
+        engine = Engine(cfg, num_nodes=6, num_resources=1)
+        session = Engine(cfg).session(6, 1)
+        for t in range(trace.shape[0]):
+            assert_outputs_equal(
+                engine.step(trace[t]), session.ingest(trace[t])
+            )
+        assert engine.time == session.time
+        assert engine.transport_stats.messages == (
+            session.transport_stats.messages
+        )
+        assert engine.empirical_frequency == session.empirical_frequency
+
+    def test_step_uses_vectorized_default_session(self):
+        engine = Engine(config())
+        engine.step(np.zeros(4))
+        assert engine._session.vectorized
+
+    def test_resume_becomes_default_session(self, tmp_path):
+        cfg = config()
+        trace = walk_trace(seed=6)
+        engine = Engine(cfg, num_nodes=6, num_resources=1)
+        for t in range(20):
+            engine.step(trace[t])
+        path = engine._session.save(tmp_path / "ck.npz")
+        other = Engine(cfg)
+        resumed = other.resume(path)
+        assert other._session is resumed
+        assert other.time == 20
+        reference = Engine(cfg, num_nodes=6, num_resources=1)
+        for t in range(20):
+            reference.step(trace[t])
+        assert_outputs_equal(other.step(trace[20]), reference.step(trace[20]))
+
+
+class TestStepOutputAlignment:
+    """StepOutput carries per-slot transport deltas and timings."""
+
+    def test_transport_delta_and_timings(self):
+        session = Engine(config()).session(6, 1)
+        trace = walk_trace(seed=7)
+        total_messages = 0
+        for t in range(20):
+            output = session.ingest(trace[t])
+            assert isinstance(output.transport, TransportStats)
+            assert output.transport.messages <= 6  # this slot only
+            total_messages += output.transport.messages
+            assert output.transport.payload_floats == (
+                output.transport.messages * 1
+            )
+            for stage in (
+                "collection", "clustering", "training", "forecasting",
+                "total",
+            ):
+                assert stage in output.timings
+                assert output.timings[stage] >= 0.0
+            assert output.timings["total"] >= output.timings["collection"]
+        assert total_messages == session.transport_stats.messages
+
+    def test_pipeline_only_step_leaves_fields_none(self):
+        from repro.core.pipeline import OnlinePipeline
+
+        pipeline = OnlinePipeline(4, 1, config())
+        output = pipeline.step(np.zeros(4))
+        assert output.transport is None
+        assert output.timings is None
+
+
+class TestPartialIngestion:
+    def test_absent_nodes_keep_stored_values(self):
+        session = Engine(config()).session(4, 1)
+        session.ingest(np.asarray([0.1, 0.2, 0.3, 0.4]))
+        before = session.fleet.stored.copy()
+        output = session.ingest(np.asarray([0.9]), node_ids=[0])
+        # Nodes 1..3 did not report: staleness keeps their values.
+        np.testing.assert_array_equal(output.stored[1:], before[1:])
+        assert session.time == 2
+
+    def test_only_active_nodes_advance_clocks(self):
+        session = Engine(config()).session(4, 1)
+        session.ingest(np.asarray([0.1, 0.2, 0.3, 0.4]))
+        session.ingest(np.asarray([0.5, 0.6]), node_ids=[1, 3])
+        np.testing.assert_array_equal(
+            session.fleet.times, np.asarray([1, 2, 1, 2])
+        )
+
+    def test_never_reporting_node_stays_zero(self):
+        session = Engine(config()).session(3, 1)
+        output = session.ingest(np.asarray([0.7, 0.8]), node_ids=[0, 1])
+        assert output.stored[2, 0] == 0.0
+        assert not session.fleet.observed[2]
+
+    def test_duplicate_ids_rejected(self):
+        session = Engine(config()).session(4, 1)
+        with pytest.raises(DataError, match="duplicate"):
+            session.ingest(np.asarray([0.1, 0.2]), node_ids=[1, 1])
+
+    def test_out_of_range_ids_rejected(self):
+        session = Engine(config()).session(4, 1)
+        with pytest.raises(DataError, match="node_ids"):
+            session.ingest(np.asarray([0.1]), node_ids=[4])
+
+    def test_row_count_mismatch_rejected(self):
+        session = Engine(config()).session(4, 1)
+        with pytest.raises(DataError, match="node_ids"):
+            session.ingest(np.asarray([0.1, 0.2]), node_ids=[1])
+
+    def test_partial_without_ids_rejected(self):
+        session = Engine(config()).session(4, 1)
+        with pytest.raises(DataError, match="full slot"):
+            session.ingest(np.asarray([0.1, 0.2]))
+
+    def test_non_finite_rejected(self):
+        session = Engine(config()).session(2, 1)
+        with pytest.raises(DataError, match="finite"):
+            session.ingest(np.asarray([0.1, np.nan]))
+
+
+class TestLateArrivals:
+    def make(self, reorder_window=2):
+        session = Engine(config()).session(4, 1, reorder_window=reorder_window)
+        session.ingest(np.asarray([0.1, 0.2, 0.3, 0.4]))
+        session.ingest(np.asarray([0.5, 0.6]), node_ids=[0, 1])
+        return session  # frontier at 2; nodes 2,3 last heard at slot 0
+
+    def test_late_within_window_applied(self):
+        session = self.make()
+        messages = session.transport_stats.messages
+        result = session.ingest(np.asarray([0.9]), node_ids=[2], t=1)
+        assert result is None  # late arrivals close no slot
+        assert session.late_applied == 1
+        assert session.late_dropped == 0
+        assert session.fleet.stored[2, 0] == 0.9
+        assert session.fleet.last_update[2] == 1
+        assert session.transport_stats.messages == messages + 1
+        # The applied value is what the next frontier slot clusters on.
+        output = session.ingest(np.asarray([0.7]), node_ids=[0])
+        assert output.stored[2, 0] == 0.9
+
+    def test_late_superseded_dropped(self):
+        session = self.make()
+        # The store last heard from node 0 at slot >= 0, so slot-0 data
+        # is not newer: dropped, store untouched.
+        before = session.fleet.stored[0, 0]
+        session.ingest(np.asarray([0.99]), node_ids=[0], t=0)
+        assert session.late_applied == 0
+        assert session.late_dropped == 1
+        assert session.fleet.stored[0, 0] == before
+
+    def test_late_outside_window_dropped(self):
+        session = self.make(reorder_window=1)
+        session.ingest(np.asarray([0.9]), node_ids=[2], t=0)
+        assert session.late_applied == 0
+        assert session.late_dropped == 1
+        assert session.fleet.stored[2, 0] == 0.3
+
+    def test_default_window_drops_everything_late(self):
+        session = Engine(config()).session(2, 1)
+        session.ingest(np.asarray([0.1, 0.2]))
+        session.ingest(np.asarray([0.3, 0.4]))
+        session.ingest(np.asarray([0.9]), node_ids=[0], t=1)
+        assert session.late_applied == 0
+        assert session.late_dropped == 1
+
+    def test_future_slot_rejected(self):
+        session = Engine(config()).session(2, 1)
+        with pytest.raises(DataError, match="frontier"):
+            session.ingest(np.asarray([0.1]), node_ids=[0], t=3)
+
+    def test_late_policy_state_untouched(self):
+        session = self.make()
+        state = session.fleet.policy_state.copy()
+        times = session.fleet.times.copy()
+        session.ingest(np.asarray([0.9]), node_ids=[2], t=1)
+        np.testing.assert_array_equal(session.fleet.policy_state, state)
+        np.testing.assert_array_equal(session.fleet.times, times)
+
+
+class TestForecastOnDemand:
+    def test_before_forecasting_raises(self):
+        session = Engine(config(initial=50)).session(3, 1)
+        session.ingest(np.asarray([0.1, 0.2, 0.3]))
+        with pytest.raises(NotFittedError, match="collection phase"):
+            session.forecast()
+
+    def test_horizon_selection(self):
+        cfg = config(initial=10, horizon=3)
+        session = Engine(cfg).session(4, 1)
+        trace = walk_trace(steps=15, nodes=4, seed=9)
+        for t in range(15):
+            session.ingest(trace[t])
+        everything = session.forecast()
+        assert set(everything) == {1, 2, 3}
+        subset = session.forecast(horizons=[2])
+        assert set(subset) == {2}
+        np.testing.assert_array_equal(subset[2], everything[2])
+        assert subset[2].shape == (4, 1)
+        with pytest.raises(DataError, match="horizon"):
+            session.forecast(horizons=[7])
+
+
+class TestSessionConstruction:
+    def test_vectorized_needs_kernel(self):
+        from repro.transmission.uniform import UniformTransmissionPolicy
+
+        with pytest.raises(ConfigurationError, match="slot kernel"):
+            StreamSession(
+                config(), 3, 1,
+                policy_factory=lambda i: UniformTransmissionPolicy(0.3),
+                vectorized=True,
+            )
+
+    def test_custom_policy_factory_falls_back_to_objects(self):
+        from repro.transmission.uniform import UniformTransmissionPolicy
+
+        session = StreamSession(
+            config(), 3, 1,
+            policy_factory=lambda i: UniformTransmissionPolicy(
+                0.5, phase=i / 3
+            ),
+        )
+        assert not session.vectorized
+        session.ingest(np.asarray([0.1, 0.2, 0.3]))
+        assert session.transport_stats.messages == 3
+
+    def test_nodes_are_column_views(self):
+        session = Engine(config()).session(3, 1)
+        session.ingest(np.asarray([0.1, 0.2, 0.3]))
+        nodes = session.nodes
+        assert len(nodes) == 3
+        assert nodes[1].fleet is session.fleet
+        assert nodes[1].stored_value[0] == 0.2
+
+    def test_sessions_are_independent(self):
+        engine = Engine(config())
+        a = engine.session(3, 1)
+        b = engine.session(3, 1)
+        a.ingest(np.asarray([0.1, 0.2, 0.3]))
+        assert a.time == 1
+        assert b.time == 0
+        assert b.transport_stats.messages == 0
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamSession(config(), 0, 1)
+        with pytest.raises(ConfigurationError):
+            StreamSession(config(), 3, 1, reorder_window=-1)
+
+    def test_engine_session_requires_dims(self):
+        with pytest.raises(ConfigurationError, match="num_nodes"):
+            Engine(config()).session()
+
+    def test_engine_session_inherits_dims(self):
+        engine = Engine(config(), num_nodes=5, num_resources=2)
+        session = engine.session()
+        assert (session.num_nodes, session.num_resources) == (5, 2)
