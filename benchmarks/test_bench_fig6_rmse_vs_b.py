@@ -1,6 +1,5 @@
 """Fig. 6 bench — intermediate RMSE vs transmission budget per method."""
 
-import numpy as np
 from conftest import run_once
 
 from repro.experiments import run_fig6

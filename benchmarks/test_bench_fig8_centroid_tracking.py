@@ -1,6 +1,5 @@
 """Fig. 8 bench — forecasted centroid trajectories track the truth."""
 
-import numpy as np
 from conftest import run_once
 
 from repro.experiments import run_fig8

@@ -20,7 +20,6 @@ answer to "should I buy bandwidth, clusters, or a better model?".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 import numpy as np
 

@@ -8,7 +8,7 @@ bench output.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Union
+from typing import Mapping, Sequence, Union
 
 Number = Union[int, float]
 

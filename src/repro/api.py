@@ -55,7 +55,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -84,7 +84,9 @@ from repro.simulation.node import LocalNode
 from repro.simulation.transport import Channel, TransportStats
 
 
-def _shard_aware_kwargs(backend, node_offset: int, total_nodes: int) -> dict:
+def _shard_aware_kwargs(
+    backend: Any, node_offset: int, total_nodes: int
+) -> dict:
     """Offset/fleet-size kwargs for backends that opt into them.
 
     Backends whose decisions depend on fleet-global state (the uniform
@@ -239,8 +241,8 @@ class Engine:
     @classmethod
     def from_config(
         cls,
-        config,
-        **kwargs,
+        config: Union[PipelineConfig, Mapping[str, Any], str, Path],
+        **kwargs: Any,
     ) -> "Engine":
         """Build an engine from a config in any of its three forms.
 
@@ -383,7 +385,7 @@ class Engine:
 
     @classmethod
     def from_checkpoint(
-        cls, source: Union[Checkpoint, str, Path], **kwargs
+        cls, source: Union[Checkpoint, str, Path], **kwargs: Any
     ) -> "Engine":
         """Build an engine *from* a checkpoint and resume its session.
 

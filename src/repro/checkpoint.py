@@ -244,6 +244,50 @@ class Checkpoint:
         )
 
 
+def encode_state(state: Any) -> Tuple[Any, Dict[str, np.ndarray]]:
+    """Validate a state tree against the checkpoint contract.
+
+    Public wrapper over the serializer used by :meth:`Checkpoint.save`:
+    returns the JSON-able manifest form plus the extracted arrays, and
+    raises :class:`CheckpointError` naming the offending path when the
+    tree contains anything a checkpoint cannot carry.  The runtime
+    contract verifier (``repro lint --runtime``) uses this to prove
+    every registered component's ``get_state`` is serializable without
+    writing an artifact.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    return _encode(state, arrays, "state"), arrays
+
+
+def state_equal(a: Any, b: Any) -> bool:
+    """Deep equality over state trees, strict about arrays.
+
+    Arrays must match in dtype, shape and bytes (NaNs compare equal —
+    a resumed NaN is still the same state); dicts and lists compare
+    structurally; scalars compare by ``==`` with ``bool``/``int``
+    distinguished so a resume cannot silently coerce types.
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+            return False
+        if a.dtype != b.dtype or a.shape != b.shape:
+            return False
+        return bool(np.array_equal(a, b, equal_nan=a.dtype.kind == "f"))
+    if isinstance(a, Mapping) and isinstance(b, Mapping):
+        if set(a) != set(b):
+            return False
+        return all(state_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            return False
+        return all(state_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, bool) != isinstance(b, bool):
+        return False
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (a != a and b != b)
+    return bool(a == b)
+
+
 def as_checkpoint(source: Union[Checkpoint, str, Path]) -> Checkpoint:
     """Coerce a checkpoint-or-path into a loaded :class:`Checkpoint`."""
     if isinstance(source, Checkpoint):
@@ -286,4 +330,6 @@ __all__ = [
     "Checkpoint",
     "as_checkpoint",
     "config_mismatch",
+    "encode_state",
+    "state_equal",
 ]

@@ -10,8 +10,6 @@ min-cost and max-weight entry points.
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 
 from repro.exceptions import DataError

@@ -24,7 +24,7 @@ Two equivalent formulations exist side by side:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Set, Tuple
+from typing import Callable, Sequence, Set, Tuple
 
 import numpy as np
 

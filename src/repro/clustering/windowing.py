@@ -10,7 +10,7 @@ those windowed feature matrices from a history of stored measurements.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque
 
 import numpy as np
 

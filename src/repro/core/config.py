@@ -10,7 +10,7 @@ phase of 1000 steps, and model retraining every 288 steps.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, fields
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional
 
 from repro.exceptions import ConfigurationError
 from repro.registry import (

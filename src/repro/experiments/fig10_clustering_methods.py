@@ -9,14 +9,11 @@ everywhere; static (an offline method) approaches it at large h.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
 from repro.core.config import TransmissionConfig
 from repro.experiments.common import (
-    RESOURCES,
     load_cluster_datasets,
     run_clustering,
     sample_hold_forecast_rmse,

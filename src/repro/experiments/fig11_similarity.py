@@ -11,12 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
-import numpy as np
-
 from repro.analysis.reporting import format_table
 from repro.core.config import TransmissionConfig
 from repro.experiments.common import (
-    RESOURCES,
     load_cluster_datasets,
     run_clustering,
     sample_hold_forecast_rmse,

@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
-
 from repro.analysis.reporting import format_table
 from repro.experiments.common import load_cluster_datasets
 from repro.gaussian.monitor import (

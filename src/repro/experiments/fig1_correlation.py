@@ -10,7 +10,7 @@ regenerates the four CDFs and the headline fractions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 

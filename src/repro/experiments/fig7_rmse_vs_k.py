@@ -10,8 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
-
 from repro.analysis.reporting import format_table
 from repro.core.config import TransmissionConfig
 from repro.experiments.common import (

@@ -11,9 +11,7 @@ and every model beats the standard-deviation bound for h ≤ 50.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
 from repro.api import Engine

@@ -11,8 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-import numpy as np
-
 from repro.analysis.reporting import format_table
 from repro.clustering.dynamic import DynamicClusterTracker
 from repro.core.config import TransmissionConfig

@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
-import numpy as np
-
 from repro.analysis.reporting import format_table
 from repro.core.config import TransmissionConfig
 from repro.datasets import load_google_like

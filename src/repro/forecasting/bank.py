@@ -277,7 +277,7 @@ class MeanBank(ForecasterBank):
 
     def _update(self, values: np.ndarray) -> None:
         self._rows.append(values.copy())
-        self._mean = running_mean(np.asarray(self._rows))
+        self._mean = running_mean(np.asarray(self._rows, dtype=float))
 
     def _forecast(self, horizon: int) -> np.ndarray:
         return hold_forecast(self._mean, horizon)
@@ -335,7 +335,8 @@ class ExponentialBank(ForecasterBank):
     def _fit(self, matrix: np.ndarray) -> None:
         if self._fixed_alpha is None and matrix.shape[0] >= 3:
             self._alpha = np.asarray(
-                [fit_ses_alpha(matrix[:, s]) for s in range(matrix.shape[1])]
+                [fit_ses_alpha(matrix[:, s]) for s in range(matrix.shape[1])],
+                dtype=float,
             )
         self._level = ewma_run(matrix, self._alpha)
 
@@ -352,7 +353,7 @@ class ExponentialBank(ForecasterBank):
         return {
             "alpha": (
                 self._alpha if isinstance(self._alpha, float)
-                else np.asarray(self._alpha)
+                else np.asarray(self._alpha, dtype=float)
             ),
             "level": self._level,
         }
@@ -387,7 +388,7 @@ class YuleWalkerBank(ForecasterBank):
     def coefficients(self) -> np.ndarray:
         """AR coefficients per series, shape ``(order, S)``."""
         if self._coefficients is None:
-            return np.zeros((self.order, self.num_series))
+            return np.zeros((self.order, self.num_series), dtype=float)
         return self._coefficients.copy()
 
     def _fit(self, matrix: np.ndarray) -> None:
@@ -407,7 +408,7 @@ class YuleWalkerBank(ForecasterBank):
         return ar_forecast_batch(
             self._coefficients,
             self._mean,
-            np.asarray(self._window[-self.order :]),
+            np.asarray(self._window[-self.order :], dtype=float),
             horizon,
         )
 
@@ -472,18 +473,21 @@ class ObjectBank(ForecasterBank):
         return [list(per_cluster) for per_cluster in self._models]
 
     def _fit(self, matrix: np.ndarray) -> None:
+        # repro: noqa KER-003(ObjectBank is the per-object fallback path by contract)
         for j, per_cluster in enumerate(self._models):
             for r, model in enumerate(per_cluster):
                 model.fit(matrix[:, j * self.dim + r])
 
     def _update(self, values: np.ndarray) -> None:
+        # repro: noqa KER-003(ObjectBank is the per-object fallback path by contract)
         for j, per_cluster in enumerate(self._models):
             for r, model in enumerate(per_cluster):
                 model.update(float(values[j * self.dim + r]))
 
     def _forecast(self, horizon: int) -> np.ndarray:
-        out = np.zeros((horizon, self.num_series))
+        out = np.zeros((horizon, self.num_series), dtype=float)
         failures: Dict[int, ReproError] = {}
+        # repro: noqa KER-003(ObjectBank is the per-object fallback path by contract)
         for j, per_cluster in enumerate(self._models):
             try:
                 for r, model in enumerate(per_cluster):
@@ -501,6 +505,7 @@ class ObjectBank(ForecasterBank):
         # Forecaster get_state/set_state protocol — custom models used
         # behind an ObjectBank must implement it to be checkpointable.
         states = []
+        # repro: noqa KER-003(per-object state capture; ObjectBank wraps arbitrary models)
         for j, per_cluster in enumerate(self._models):
             row = []
             for r, model in enumerate(per_cluster):
@@ -527,6 +532,7 @@ class ObjectBank(ForecasterBank):
                 f"{len(states)}x{len(states[0]) if states else 0} models, "
                 f"bank has {self.num_clusters}x{self.dim}"
             )
+        # repro: noqa KER-003(per-object state restore; ObjectBank wraps arbitrary models)
         for j, per_cluster in enumerate(self._models):
             for r, model in enumerate(per_cluster):
                 setter = getattr(model, "set_state", None)

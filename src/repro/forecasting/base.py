@@ -10,7 +10,7 @@ state.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -8,11 +8,11 @@ one-step-ahead prediction; multi-step forecasts are produced recursively.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, DataError
+from repro.exceptions import DataError
 from repro.forecasting.lstm.layers import DenseLayer, Layer, LSTMLayer
 
 

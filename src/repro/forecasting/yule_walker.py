@@ -16,8 +16,6 @@ forecasters by construction.
 
 from __future__ import annotations
 
-from typing import Optional, Union
-
 import numpy as np
 
 from repro.exceptions import ConfigurationError, DataError
@@ -90,6 +88,7 @@ def fit_yule_walker_batch(series: np.ndarray, order: int) -> np.ndarray:
         # At least one singular system: fall back to per-series solves
         # (identical arithmetic per system) and zero the singular ones.
         coefficients = np.zeros((order, num_series))
+        # repro: noqa KER-003(cold-path fallback for singular systems, identical arithmetic)
         for s in range(num_series):
             try:
                 coefficients[:, s] = np.linalg.solve(mats[s], rhs[s])

@@ -11,7 +11,6 @@ the diagonal is applied before inversion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

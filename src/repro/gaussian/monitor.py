@@ -26,7 +26,7 @@ from __future__ import annotations
 import abc
 import time as _time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

@@ -15,11 +15,11 @@ interpretation note):
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, DataError
+from repro.exceptions import ConfigurationError
 from repro.gaussian.covariance import GaussianModel
 
 

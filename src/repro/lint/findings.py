@@ -1,0 +1,55 @@
+"""Diagnostics emitted by lint rules: one :class:`Finding` per site."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or suppressed violation) at a source site.
+
+    Attributes:
+        path: File the finding is in, relative to the linted root (for
+            runtime findings, the component's registry coordinate, e.g.
+            ``transmission policy 'adaptive'``).
+        line: 1-based source line (0 for runtime findings).
+        rule_id: The violated rule (``DT-001``, ``STATE-002``, …).
+        message: Human-readable description of the violation.
+        waive_reason: The written justification when the finding was
+            suppressed by an inline ``# repro: noqa RULE-ID(reason)``
+            waiver; ``None`` for active findings.
+    """
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+    waive_reason: Optional[str] = field(default=None, compare=False)
+
+    @property
+    def waived(self) -> bool:
+        """True when an inline waiver suppressed this finding."""
+        return self.waive_reason is not None
+
+    def sort_key(self):
+        return (self.path, self.line, self.rule_id)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-reporter form (stable field names, see report schema)."""
+        data: Dict[str, object] = {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+        if self.waive_reason is not None:
+            data["reason"] = self.waive_reason
+        return data
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+
+__all__ = ["Finding"]

@@ -1,0 +1,117 @@
+"""The lint-rule registry: one :class:`LintRule` per invariant.
+
+Rules self-register in the module that defines them, exactly like the
+engine's pluggable stages — :data:`LINT_RULES` is a
+:class:`repro.registry.Registry` keyed by rule id, loaded lazily from
+the rule modules, so ``repro lint`` and ``repro list`` discover rules
+the same way ``Engine`` discovers forecasters.
+
+Rule families:
+
+* ``state-contract`` — ``get_state``/``set_state`` symmetry (the
+  bit-identical checkpoint/resume contract of PR 5);
+* ``registry`` — lazy-load module lists and ``@register_*`` call sites
+  stay in sync (no dead entries, no orphan registrations);
+* ``kernel-purity`` — slot/collection/bank kernel modules stay pure,
+  deterministic and loop-free over the node/series axis (what keeps
+  the columnar paths exchangeable with the reference loops);
+* ``dtype`` — explicit dtypes at every fleet-scale allocation site
+  (the float32 threading of ROADMAP item 1 touches exactly these);
+* ``waivers`` — inline suppressions must carry a written reason;
+* ``runtime`` — contract checks that need live components
+  (``repro lint --runtime``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.lint.findings import Finding
+from repro.registry import Registry
+
+
+class LintRule:
+    """One named invariant check.
+
+    Attributes:
+        rule_id: Stable identifier (``FAMILY-NNN``) used in findings,
+            waivers and the CLI listing.
+        family: Rule family (see the module docstring).
+        description: One-line summary shown by ``repro list``.
+        scope: ``"static"`` rules run over the AST context;
+            ``"runtime"`` rules run under ``repro lint --runtime``.
+    """
+
+    rule_id: str = ""
+    family: str = ""
+    description: str = ""
+    scope: str = "static"
+
+    def check(self, context) -> Iterator[Finding]:
+        """Yield findings against the given :class:`LintContext`."""
+        return iter(())
+
+
+#: Rule id → :class:`LintRule` instance; the defining modules
+#: self-register on first lookup.
+LINT_RULES = Registry(
+    "lint rule",
+    modules=(
+        "repro.lint.rules.state_contract",
+        "repro.lint.rules.registry_sync",
+        "repro.lint.rules.kernel_purity",
+        "repro.lint.rules.dtype_discipline",
+        "repro.lint.waivers",
+        "repro.lint.runtime",
+    ),
+)
+
+
+def register_lint_rule(rule: LintRule, *, override: bool = False) -> LintRule:
+    """Register a rule instance under its ``rule_id``."""
+    return LINT_RULES.register(rule.rule_id, rule, override=override)
+
+
+class ParseRule(LintRule):
+    """Surfaced by the runner for files that fail to parse."""
+
+    rule_id = "PARSE-001"
+    family = "framework"
+    description = "every linted file must parse as Python source"
+
+
+register_lint_rule(ParseRule())
+
+
+def static_rules() -> List[LintRule]:
+    """All registered static-scope rules, by rule id."""
+    return [
+        LINT_RULES.get(name)
+        for name in LINT_RULES.available()
+        if LINT_RULES.get(name).scope == "static"
+    ]
+
+
+def runtime_rules() -> List[LintRule]:
+    """All registered runtime-scope rules, by rule id."""
+    return [
+        LINT_RULES.get(name)
+        for name in LINT_RULES.available()
+        if LINT_RULES.get(name).scope == "runtime"
+    ]
+
+
+def rules_by_id(rule_ids: Iterable[str]) -> List[LintRule]:
+    """Resolve explicit rule ids (unknown ids raise a friendly error)."""
+    return [LINT_RULES.get(rule_id) for rule_id in rule_ids]
+
+
+__all__ = [
+    "LINT_RULES",
+    "LintRule",
+    "ParseRule",
+    "register_lint_rule",
+    "rules_by_id",
+    "runtime_rules",
+    "static_rules",
+]

@@ -1,0 +1,94 @@
+"""Dtype-discipline rule for fleet-scale allocation sites.
+
+ROADMAP item 1 threads a ``dtype`` parameter through
+:class:`FleetState` so million-node fleets can run in float32.  That
+change touches exactly the allocation sites where dtype is currently
+implicit — every ``np.zeros(...)`` without a ``dtype=`` silently pins
+float64 and will either be missed by the refactor or flip behaviour
+under it.  ``DT-001`` makes the dtype explicit *now* in the modules the
+refactor will touch: the fleet columns, the slot ring, the transmission
+kernels and the forecaster banks.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Iterator, List
+
+from repro.lint.context import LintContext, ModuleInfo, dotted_name
+from repro.lint.findings import Finding
+from repro.lint.rules import LintRule, register_lint_rule
+
+#: Modules where fleet-scale arrays are allocated (fnmatch on the
+#: dotted module name; ``*`` also matches the empty prefix so bare
+#: fixture packages match too).
+DTYPE_MODULE_PATTERNS = (
+    "*simulation.fleet",
+    "*core.ring",
+    "*transmission.*",
+    "*forecasting.bank",
+)
+
+#: Allocator → index of its positional ``dtype`` parameter.
+_ALLOCATORS = {
+    "zeros": 1,
+    "empty": 1,
+    "full": 2,
+    "asarray": 1,
+}
+
+
+def _dtype_modules(context: LintContext) -> List[ModuleInfo]:
+    return [
+        info
+        for info in context.iter_modules()
+        if any(fnmatch(info.name, pat) for pat in DTYPE_MODULE_PATTERNS)
+    ]
+
+
+class DtypeDisciplineRule(LintRule):
+    """DT-001: allocations in fleet-scale modules state their dtype."""
+
+    rule_id = "DT-001"
+    family = "dtype"
+    description = (
+        "np.zeros/np.empty/np.full/np.asarray in fleet-scale modules "
+        "must pass an explicit dtype"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        for info in _dtype_modules(context):
+            for node in info.walk():
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                if len(parts) != 2 or parts[0] not in ("np", "numpy"):
+                    continue
+                allocator = parts[1]
+                dtype_pos = _ALLOCATORS.get(allocator)
+                if dtype_pos is None:
+                    continue
+                has_dtype = any(
+                    keyword.arg == "dtype" for keyword in node.keywords
+                ) or len(node.args) > dtype_pos
+                if not has_dtype:
+                    yield Finding(
+                        path=info.rel_path,
+                        line=node.lineno,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"np.{allocator}() without an explicit dtype "
+                            "in a fleet-scale module; implicit float64 "
+                            "pins precision the float32 fleet refactor "
+                            "must control"
+                        ),
+                    )
+
+
+register_lint_rule(DtypeDisciplineRule())
+
+__all__ = ["DTYPE_MODULE_PATTERNS", "DtypeDisciplineRule"]

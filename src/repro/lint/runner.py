@@ -1,0 +1,157 @@
+"""The lint driver: build the context, run the rules, apply waivers.
+
+:func:`lint_paths` is the one entry point both the CLI (``repro
+lint``) and the test suite use — tests import it directly and assert
+on the returned :class:`LintResult` instead of scraping CLI output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.context import LintContext, build_context
+from repro.lint.findings import Finding
+from repro.lint.rules import (
+    LintRule,
+    rules_by_id,
+    runtime_rules,
+    static_rules,
+)
+from repro.lint.waivers import collect_waivers
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run.
+
+    Attributes:
+        findings: Active (non-waived) findings, sorted by location.
+        waived: Findings suppressed by a reasoned inline waiver (each
+            carries its ``waive_reason``).
+        files: Number of files analyzed.
+        rules_run: Ids of the rules that ran.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    waived: List[Finding] = field(default_factory=list)
+    files: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when no active findings remain."""
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package — what bare ``repro lint`` checks."""
+    import repro
+
+    return Path(repro.__file__).parent
+
+
+def _apply_waivers(
+    context: LintContext,
+    waivers_by_module: Dict[str, Dict[int, Dict[str, str]]],
+    findings: Iterable[Finding],
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split raw findings into (active, waived) using inline waivers."""
+    waivers_by_path: Dict[str, Dict[int, Dict[str, str]]] = {}
+    for name, waivers in waivers_by_module.items():
+        waivers_by_path[context.modules[name].rel_path] = waivers
+    active: List[Finding] = []
+    waived: List[Finding] = []
+    for finding in findings:
+        reason = (
+            waivers_by_path.get(finding.path, {})
+            .get(finding.line, {})
+            .get(finding.rule_id)
+        )
+        if reason is None:
+            active.append(finding)
+        else:
+            waived.append(
+                Finding(
+                    path=finding.path,
+                    line=finding.line,
+                    rule_id=finding.rule_id,
+                    message=finding.message,
+                    waive_reason=reason,
+                )
+            )
+    return active, waived
+
+
+def lint_paths(
+    paths: Optional[Sequence] = None,
+    *,
+    rules: Optional[Sequence[str]] = None,
+    runtime: bool = False,
+) -> LintResult:
+    """Run the repro invariant checks.
+
+    Args:
+        paths: Files/directories to lint; defaults to the installed
+            ``repro`` package.
+        rules: Restrict to these rule ids (default: all rules of the
+            selected scope).
+        runtime: Also run the runtime contract verifier
+            (``repro lint --runtime``); runtime findings are never
+            waivable — they describe live components, not source lines.
+
+    Returns:
+        A :class:`LintResult`; ``result.ok`` is the pass/fail verdict
+        and ``result.exit_code`` the CLI exit status.
+    """
+    if paths is None:
+        paths = [default_target()]
+    selected: List[LintRule]
+    if rules is not None:
+        selected = rules_by_id(rules)
+    else:
+        selected = static_rules()
+        if runtime:
+            selected += runtime_rules()
+    context = build_context(paths)
+    waivers_by_module = collect_waivers(context)
+    raw: List[Finding] = []
+    for rule in selected:
+        if rule.scope == "static":
+            raw.extend(rule.check(context))
+    for rel_path, lineno, message in context.parse_failures:
+        raw.append(
+            Finding(
+                path=rel_path,
+                line=lineno,
+                rule_id="PARSE-001",
+                message=f"file does not parse: {message}",
+            )
+        )
+    active, waived = _apply_waivers(context, waivers_by_module, raw)
+    if runtime or (
+        rules is not None and any(r.scope == "runtime" for r in selected)
+    ):
+        from repro.lint.runtime import run_runtime_checks
+
+        runtime_ids = tuple(
+            r.rule_id for r in selected if r.scope == "runtime"
+        )
+        if runtime_ids:
+            active.extend(run_runtime_checks(only=runtime_ids))
+    active.sort(key=lambda f: f.sort_key())
+    waived.sort(key=lambda f: f.sort_key())
+    return LintResult(
+        findings=active,
+        waived=waived,
+        files=len(context.modules) + len(context.parse_failures),
+        rules_run=tuple(sorted(r.rule_id for r in selected)),
+    )
+
+
+__all__ = ["LintResult", "default_target", "lint_paths"]

@@ -208,7 +208,9 @@ SIMILARITY_MEASURES = Registry(
 )
 
 
-def register_forecaster(name: str, *, override: bool = False):
+def register_forecaster(
+    name: str, *, override: bool = False
+) -> Callable[[Any], Any]:
     """Decorator registering a forecaster builder.
 
     The builder receives ``(config, cluster, group)`` — the full
@@ -218,7 +220,9 @@ def register_forecaster(name: str, *, override: bool = False):
     return FORECASTERS.register(name, override=override)
 
 
-def register_forecaster_bank(name: str, *, override: bool = False):
+def register_forecaster_bank(
+    name: str, *, override: bool = False
+) -> Callable[[Any], Any]:
     """Decorator registering a vectorized forecaster-bank builder.
 
     The builder receives ``(forecasting_config, num_clusters, dim)`` and
@@ -230,7 +234,9 @@ def register_forecaster_bank(name: str, *, override: bool = False):
     return FORECASTER_BANKS.register(name, override=override)
 
 
-def register_transmission_policy(name: str, *, override: bool = False):
+def register_transmission_policy(
+    name: str, *, override: bool = False
+) -> Callable[[Any], Any]:
     """Decorator registering a per-node transmission-policy builder.
 
     The builder receives ``(transmission_config, node_id)`` and returns
@@ -239,7 +245,9 @@ def register_transmission_policy(name: str, *, override: bool = False):
     return TRANSMISSION_POLICIES.register(name, override=override)
 
 
-def register_slot_kernel(name: str, *, override: bool = False):
+def register_slot_kernel(
+    name: str, *, override: bool = False
+) -> Callable[[Any], Any]:
     """Decorator registering a vectorized transmission slot kernel.
 
     The builder receives the ``transmission_config`` and returns a
@@ -256,7 +264,9 @@ def register_slot_kernel(name: str, *, override: bool = False):
     return SLOT_KERNELS.register(name, override=override)
 
 
-def register_collection_backend(name: str, *, override: bool = False):
+def register_collection_backend(
+    name: str, *, override: bool = False
+) -> Callable[[Any], Any]:
     """Decorator registering a whole-trace collection backend.
 
     The backend receives ``(trace, transmission_config)`` and returns a
@@ -265,7 +275,9 @@ def register_collection_backend(name: str, *, override: bool = False):
     return COLLECTION_BACKENDS.register(name, override=override)
 
 
-def register_similarity(name: str, *, override: bool = False):
+def register_similarity(
+    name: str, *, override: bool = False
+) -> Callable[[Any], Any]:
     """Decorator registering a cluster-similarity measure."""
     return SIMILARITY_MEASURES.register(name, override=override)
 

@@ -16,7 +16,7 @@ Two equivalent engines are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -152,6 +152,7 @@ class CollectionSimulation:
         # continuation runs keep one time base.
         base = int(self.fleet.times.max())
         for t in range(num_steps):
+            # repro: noqa KER-003(object-path reference loop, kept as the equivalence oracle)
             for node in self.nodes:
                 message = node.observe(data[t, node.node_id])
                 if message is not None:
@@ -174,6 +175,7 @@ class CollectionSimulation:
             stored, decisions, queue_samples, queues = _adaptive_recurrence(
                 data, budgets, v0s, gammas
             )
+            # repro: noqa KER-003(one-shot fast-forward of object policies, off the hot path)
             for i, policy in enumerate(policies):
                 policy.sync_batch(
                     decisions[:, i], queue_samples[:, i], queues[i]
@@ -184,6 +186,7 @@ class CollectionSimulation:
             stored, decisions, accumulator = _uniform_recurrence(
                 data, budgets, phases
             )
+            # repro: noqa KER-003(one-shot fast-forward of object policies, off the hot path)
             for i, policy in enumerate(policies):
                 policy.sync_batch(decisions[:, i], accumulator[i])
 
@@ -332,6 +335,7 @@ def simulate_uniform_collection(
     if stagger:
         # Draw the whole fleet's phases and slice, so a shard's phases
         # are bit-identical to its columns of the single-shard draw.
+        # repro: noqa KER-001(seeded generator; the draw is a pure function of config)
         phases = np.random.default_rng(seed).uniform(0.0, 1.0, size=total)[
             node_offset : node_offset + num_nodes
         ]

@@ -93,7 +93,7 @@ class FleetState:
             if dim < 1:
                 raise SimulationError(f"dimension must be >= 1, got {dim}")
             self._dim = dim
-            self.stored = np.zeros((self.num_nodes, dim))
+            self.stored = np.zeros((self.num_nodes, dim), dtype=float)
         elif self._dim != dim:
             raise SimulationError(
                 f"fleet dimensionality is fixed at d={self._dim}, "
@@ -122,7 +122,7 @@ class FleetState:
                 batch, aligned with each node's current clock.
             final_stored: ``(N, d)`` stored values after the last slot.
         """
-        decisions = np.asarray(decisions)
+        decisions = np.asarray(decisions, dtype=bool)
         num_steps, num_nodes = decisions.shape
         if num_nodes != self.num_nodes:
             raise SimulationError(

@@ -179,7 +179,7 @@ class AdaptiveTransmissionPolicy(TransmissionPolicy):
             np.asarray(queue_samples, dtype=float).ravel().tolist()
         )
         self._queue = float(final_queue)
-        self._time += int(np.asarray(decisions).size)
+        self._time += int(np.size(decisions))
 
     def get_state(self) -> Dict[str, object]:
         return {"queue": self._queue, "time": self._time}

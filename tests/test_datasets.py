@@ -1,14 +1,9 @@
 """Tests for the dataset container and synthetic trace generators."""
 
-import os
-
 import numpy as np
 import pytest
 
-from repro.analysis.correlation import (
-    fraction_above,
-    median_absolute_correlation,
-)
+from repro.analysis.correlation import fraction_above
 from repro.datasets import (
     CLUSTER_DATASETS,
     ProfileTraceSpec,

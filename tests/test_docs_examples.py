@@ -6,8 +6,6 @@ surface from drifting apart.
 
 import ast
 import os
-import subprocess
-import sys
 
 import pytest
 

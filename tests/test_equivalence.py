@@ -13,7 +13,6 @@ on randomized traces.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

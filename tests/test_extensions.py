@@ -4,7 +4,7 @@ prediction intervals, and the deadband ablation."""
 import numpy as np
 import pytest
 
-from repro.analysis.decomposition import ErrorDecomposition, decompose_error
+from repro.analysis.decomposition import decompose_error
 from repro.core.config import (
     ClusteringConfig,
     ForecastingConfig,

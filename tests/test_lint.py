@@ -1,0 +1,531 @@
+"""Tests for ``repro lint`` — the AST-based invariant checker.
+
+Each rule family gets a seeded-violation fixture (proving ``repro
+lint`` exits non-zero on it) and a clean fixture (proving no false
+positive), plus waiver semantics, the JSON reporter schema, the
+runtime contract verifier, and the meta-test that the shipped tree
+itself lints clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    LINT_RULES,
+    build_context,
+    default_target,
+    lint_paths,
+    parse_waivers,
+    render_json,
+    render_text,
+    run_runtime_checks,
+)
+from repro.lint.runner import LintResult
+
+
+def write_pkg(root: Path, files: dict) -> Path:
+    """Materialize ``{relative/path.py: source}`` as a package tree."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for parent in path.relative_to(root).parents:
+            if str(parent) != ".":
+                init = root / parent / "__init__.py"
+                if not init.exists():
+                    init.write_text("")
+        path.write_text(source)
+    return root
+
+
+def rule_ids(result: LintResult):
+    return sorted({f.rule_id for f in result.findings})
+
+
+# ---------------------------------------------------------------------------
+# State-contract family
+# ---------------------------------------------------------------------------
+
+
+def test_state_001_missing_setter_fails(tmp_path):
+    write_pkg(tmp_path, {
+        "pkg/comp.py": (
+            "class Broken:\n"
+            "    def get_state(self):\n"
+            "        return {'a': 1}\n"
+        ),
+    })
+    result = lint_paths([tmp_path])
+    assert "STATE-001" in rule_ids(result)
+    assert result.exit_code == 1
+
+
+def test_state_001_hook_pair_also_checked(tmp_path):
+    write_pkg(tmp_path, {
+        "pkg/comp.py": (
+            "class Broken:\n"
+            "    def _state(self):\n"
+            "        return {'w': 2.0}\n"
+        ),
+    })
+    result = lint_paths([tmp_path])
+    assert "STATE-001" in rule_ids(result)
+
+
+def test_state_002_key_read_but_never_written(tmp_path):
+    write_pkg(tmp_path, {
+        "pkg/comp.py": (
+            "class Mismatch:\n"
+            "    def get_state(self):\n"
+            "        return {'a': self.a}\n"
+            "    def set_state(self, state):\n"
+            "        self.a = state['b']\n"
+        ),
+    })
+    result = lint_paths([tmp_path])
+    findings = [f for f in result.findings if f.rule_id == "STATE-002"]
+    assert len(findings) == 2  # 'b' never written, 'a' never read
+    assert any("'b'" in f.message for f in findings)
+
+
+def test_state_002_symmetric_keys_pass(tmp_path):
+    write_pkg(tmp_path, {
+        "pkg/comp.py": (
+            "class Good:\n"
+            "    def get_state(self):\n"
+            "        return {'a': self.a, 'b': self.b}\n"
+            "    def set_state(self, state):\n"
+            "        self.a = state['a']\n"
+            "        self.b = state.get('b')\n"
+        ),
+    })
+    assert lint_paths([tmp_path]).ok
+
+
+def test_state_002_open_sets_never_flag(tmp_path):
+    # Spread on the write side, forwarding on the read side: both
+    # sides open, so dynamic composition is never a false positive.
+    write_pkg(tmp_path, {
+        "pkg/comp.py": (
+            "class Dynamic:\n"
+            "    def get_state(self):\n"
+            "        return {'a': 1, **self._state()}\n"
+            "    def set_state(self, state):\n"
+            "        self._load_state(state)\n"
+            "    def _state(self):\n"
+            "        return {}\n"
+            "    def _load_state(self, state):\n"
+            "        pass\n"
+        ),
+    })
+    assert lint_paths([tmp_path]).ok
+
+
+def test_state_002_build_then_return_idiom(tmp_path):
+    write_pkg(tmp_path, {
+        "pkg/comp.py": (
+            "class Builder:\n"
+            "    def get_state(self):\n"
+            "        state = {'a': 1}\n"
+            "        if self.extra is not None:\n"
+            "            state['extra'] = self.extra\n"
+            "        return state\n"
+            "    def set_state(self, state):\n"
+            "        self.a = state['a']\n"
+            "        self.extra = state.get('extra')\n"
+        ),
+    })
+    assert lint_paths([tmp_path]).ok
+
+
+# ---------------------------------------------------------------------------
+# Registry family
+# ---------------------------------------------------------------------------
+
+_REGISTRY_FIXTURE = {
+    "pkg/reg.py": (
+        "from repro.registry import Registry\n"
+        "THINGS = Registry('thing', modules=('pkg.impl',))\n"
+        "def register_thing(name, *, override=False):\n"
+        "    return THINGS.register(name, override=override)\n"
+    ),
+    "pkg/impl.py": (
+        "from pkg.reg import register_thing\n"
+        "@register_thing('alpha')\n"
+        "def build_alpha():\n"
+        "    return object()\n"
+    ),
+}
+
+
+def test_registry_in_sync_passes(tmp_path):
+    write_pkg(tmp_path, dict(_REGISTRY_FIXTURE))
+    assert lint_paths([tmp_path]).ok
+
+
+def test_reg_001_dead_lazy_load_entry(tmp_path):
+    files = dict(_REGISTRY_FIXTURE)
+    files["pkg/reg.py"] = files["pkg/reg.py"].replace(
+        "'pkg.impl'", "'pkg.gone'"
+    )
+    write_pkg(tmp_path, files)
+    result = lint_paths([tmp_path])
+    assert "REG-001" in rule_ids(result)
+    # The orphaned registration in pkg/impl.py is also reported.
+    assert "REG-002" in rule_ids(result)
+    assert result.exit_code == 1
+
+
+def test_reg_001_entry_without_registration(tmp_path):
+    files = dict(_REGISTRY_FIXTURE)
+    files["pkg/impl.py"] = "def build_alpha():\n    return object()\n"
+    write_pkg(tmp_path, files)
+    result = lint_paths([tmp_path])
+    assert rule_ids(result) == ["REG-001"]
+
+
+def test_reg_002_orphan_registration(tmp_path):
+    files = dict(_REGISTRY_FIXTURE)
+    files["pkg/orphan.py"] = (
+        "from pkg.reg import register_thing\n"
+        "@register_thing('beta')\n"
+        "def build_beta():\n"
+        "    return object()\n"
+    )
+    write_pkg(tmp_path, files)
+    result = lint_paths([tmp_path])
+    assert rule_ids(result) == ["REG-002"]
+    assert any("pkg.orphan" in f.message for f in result.findings)
+
+
+def test_reg_002_reachable_through_package_init(tmp_path):
+    # Seeding the package makes everything its __init__ imports
+    # reachable — the idiom repro.forecasting uses.
+    files = dict(_REGISTRY_FIXTURE)
+    files["pkg/reg.py"] = files["pkg/reg.py"].replace(
+        "modules=('pkg.impl',)", "modules=('pkg.sub',)"
+    )
+    files["pkg/sub/__init__.py"] = "from pkg.sub import impl\n"
+    files["pkg/sub/impl.py"] = (
+        "from pkg.reg import register_thing\n"
+        "@register_thing('gamma')\n"
+        "def build_gamma():\n"
+        "    return object()\n"
+    )
+    del files["pkg/impl.py"]
+    write_pkg(tmp_path, files)
+    assert lint_paths([tmp_path]).ok
+
+
+# ---------------------------------------------------------------------------
+# Kernel-purity family
+# ---------------------------------------------------------------------------
+
+_KERNEL_HEADER = (
+    "import numpy as np\n"
+    "from repro.registry import Registry\n"
+    "SLOT_KERNELS = Registry('slot kernel', modules=('kpkg.kern',))\n"
+)
+
+
+def _kernel_fixture(body: str) -> dict:
+    return {"kpkg/kern.py": _KERNEL_HEADER + body}
+
+
+def test_ker_001_rng_in_kernel_module(tmp_path):
+    write_pkg(tmp_path, _kernel_fixture(
+        "def kernel(x):\n"
+        "    return x + np.random.default_rng(0).uniform()\n"
+        "SLOT_KERNELS.register('bad', kernel)\n"
+    ))
+    result = lint_paths([tmp_path])
+    assert "KER-001" in rule_ids(result)
+    assert result.exit_code == 1
+
+
+def test_ker_002_undocumented_param_mutation(tmp_path):
+    write_pkg(tmp_path, _kernel_fixture(
+        "def kernel(x, queues):\n"
+        "    queues += 1.0\n"
+        "    return x\n"
+        "SLOT_KERNELS.register('bad', kernel)\n"
+    ))
+    result = lint_paths([tmp_path])
+    assert "KER-002" in rule_ids(result)
+    assert result.exit_code == 1
+
+
+def test_ker_002_documented_mutation_passes(tmp_path):
+    write_pkg(tmp_path, _kernel_fixture(
+        "def kernel(x, queues):\n"
+        '    """Advance queues in place."""\n'
+        "    queues += 1.0\n"
+        "    return x\n"
+        "SLOT_KERNELS.register('ok', kernel)\n"
+    ))
+    assert lint_paths([tmp_path]).ok
+
+
+def test_ker_002_out_param_passes(tmp_path):
+    write_pkg(tmp_path, _kernel_fixture(
+        "def kernel(x, out):\n"
+        "    out[:] = x * 2\n"
+        "    return out\n"
+        "SLOT_KERNELS.register('ok', kernel)\n"
+    ))
+    assert lint_paths([tmp_path]).ok
+
+
+def test_ker_003_axis_loop_in_kernel_module(tmp_path):
+    write_pkg(tmp_path, _kernel_fixture(
+        "def kernel(x, num_nodes):\n"
+        "    total = 0.0\n"
+        "    for i in range(num_nodes):\n"
+        "        total += x[i]\n"
+        "    return total\n"
+        "SLOT_KERNELS.register('bad', kernel)\n"
+    ))
+    result = lint_paths([tmp_path])
+    assert "KER-003" in rule_ids(result)
+    assert result.exit_code == 1
+
+
+def test_kernel_rules_ignore_non_kernel_modules(tmp_path):
+    # Same code, but nothing registers into a kernel registry: the
+    # kernel-purity rules must not apply.
+    write_pkg(tmp_path, {"mpkg/metrics.py": (
+        "import numpy as np\n"
+        "def shuffle(values, num_nodes):\n"
+        "    for i in range(num_nodes):\n"
+        "        values[i] = np.random.default_rng(i).uniform()\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+# ---------------------------------------------------------------------------
+# Dtype-discipline family
+# ---------------------------------------------------------------------------
+
+
+def test_dt_001_dtypeless_allocation(tmp_path):
+    write_pkg(tmp_path, {"cpkg/core/ring.py": (
+        "import numpy as np\n"
+        "def make_buffer(n):\n"
+        "    return np.zeros((n, 4))\n"
+    )})
+    result = lint_paths([tmp_path])
+    assert rule_ids(result) == ["DT-001"]
+    assert result.exit_code == 1
+
+
+def test_dt_001_explicit_dtype_passes(tmp_path):
+    write_pkg(tmp_path, {"cpkg/core/ring.py": (
+        "import numpy as np\n"
+        "def make_buffer(n):\n"
+        "    a = np.zeros((n, 4), dtype=float)\n"
+        "    b = np.asarray(a, dtype=np.float32)\n"
+        "    c = np.full((n,), 0.0, float)\n"
+        "    return a, b, c\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+def test_dt_001_scoped_to_fleet_scale_modules(tmp_path):
+    write_pkg(tmp_path, {"cpkg/metrics/report.py": (
+        "import numpy as np\n"
+        "def make_buffer(n):\n"
+        "    return np.zeros((n, 4))\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+# ---------------------------------------------------------------------------
+# Waivers
+# ---------------------------------------------------------------------------
+
+_DT_VIOLATION = (
+    "import numpy as np\n"
+    "def make_buffer(n):\n"
+    "    return np.zeros((n, 4))\n"
+)
+
+
+def test_trailing_waiver_with_reason_suppresses(tmp_path):
+    write_pkg(tmp_path, {"cpkg/core/ring.py": _DT_VIOLATION.replace(
+        "np.zeros((n, 4))",
+        "np.zeros((n, 4))  # repro: noqa DT-001(fixture says so)",
+    )})
+    result = lint_paths([tmp_path])
+    assert result.ok
+    assert len(result.waived) == 1
+    assert result.waived[0].waive_reason == "fixture says so"
+
+
+def test_own_line_waiver_applies_to_next_line(tmp_path):
+    write_pkg(tmp_path, {"cpkg/core/ring.py": _DT_VIOLATION.replace(
+        "    return np.zeros((n, 4))",
+        "    # repro: noqa DT-001(next-line form)\n"
+        "    return np.zeros((n, 4))",
+    )})
+    result = lint_paths([tmp_path])
+    assert result.ok
+    assert result.waived[0].waive_reason == "next-line form"
+
+
+def test_bare_waiver_suppresses_nothing_and_is_flagged(tmp_path):
+    write_pkg(tmp_path, {"cpkg/core/ring.py": _DT_VIOLATION.replace(
+        "np.zeros((n, 4))",
+        "np.zeros((n, 4))  # repro: noqa DT-001",
+    )})
+    result = lint_paths([tmp_path])
+    assert sorted(rule_ids(result)) == ["DT-001", "WAIVE-001"]
+    assert result.exit_code == 1
+
+
+def test_waiver_for_other_rule_does_not_suppress(tmp_path):
+    write_pkg(tmp_path, {"cpkg/core/ring.py": _DT_VIOLATION.replace(
+        "np.zeros((n, 4))",
+        "np.zeros((n, 4))  # repro: noqa KER-001(wrong rule)",
+    )})
+    result = lint_paths([tmp_path])
+    assert rule_ids(result) == ["DT-001"]
+
+
+def test_parse_waivers_multiple_entries(tmp_path):
+    write_pkg(tmp_path, {"pkg/mod.py": (
+        "x = 1  # repro: noqa DT-001(first) KER-003(second)\n"
+    )})
+    context = build_context([tmp_path])
+    waivers, problems = parse_waivers(context.modules["pkg.mod"])
+    assert waivers[1] == {"DT-001": "first", "KER-003": "second"}
+    assert problems == []
+
+
+def test_waiver_inside_string_literal_is_not_a_waiver(tmp_path):
+    write_pkg(tmp_path, {"pkg/mod.py": (
+        "TEXT = '# repro: noqa DT-001'\n"
+    )})
+    result = lint_paths([tmp_path])
+    assert result.ok  # no WAIVE-001: it's a string, not a comment
+
+
+# ---------------------------------------------------------------------------
+# Framework: parse failures, reporters, CLI
+# ---------------------------------------------------------------------------
+
+
+def test_parse_001_on_syntax_error(tmp_path):
+    write_pkg(tmp_path, {"pkg/broken.py": "def oops(:\n"})
+    result = lint_paths([tmp_path])
+    assert rule_ids(result) == ["PARSE-001"]
+    assert result.exit_code == 1
+
+
+def test_json_report_schema(tmp_path):
+    write_pkg(tmp_path, {"cpkg/core/ring.py": _DT_VIOLATION})
+    result = lint_paths([tmp_path])
+    payload = json.loads(render_json(result))
+    assert payload["version"] == 1
+    assert payload["ok"] is False
+    assert isinstance(payload["files"], int)
+    assert "DT-001" in payload["rules"]
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "DT-001"
+    assert finding["path"].endswith("ring.py")
+    assert finding["line"] == 3
+    assert "dtype" in finding["message"]
+    assert payload["waived"] == []
+
+
+def test_text_report_format(tmp_path):
+    write_pkg(tmp_path, {"cpkg/core/ring.py": _DT_VIOLATION})
+    text = render_text(lint_paths([tmp_path]))
+    assert "ring.py:3: DT-001" in text
+    assert text.strip().endswith("(0 waived, 10 rules)")
+
+
+def test_rules_filter_restricts_scope(tmp_path):
+    write_pkg(tmp_path, {
+        "cpkg/core/ring.py": _DT_VIOLATION,
+        "pkg/comp.py": (
+            "class Broken:\n"
+            "    def get_state(self):\n"
+            "        return {}\n"
+        ),
+    })
+    result = lint_paths([tmp_path], rules=["STATE-001"])
+    assert rule_ids(result) == ["STATE-001"]
+    assert result.rules_run == ("STATE-001",)
+
+
+def test_cli_lint_exits_nonzero_on_violation(tmp_path, capsys):
+    write_pkg(tmp_path, {"cpkg/core/ring.py": _DT_VIOLATION})
+    assert main(["lint", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "DT-001" in out
+
+
+def test_cli_lint_clean_tree_exits_zero(tmp_path, capsys):
+    write_pkg(tmp_path, {"pkg/mod.py": "x = 1\n"})
+    assert main(["lint", str(tmp_path)]) == 0
+
+
+def test_cli_lint_json_format(tmp_path, capsys):
+    write_pkg(tmp_path, {"pkg/mod.py": "x = 1\n"})
+    assert main(["lint", str(tmp_path), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+
+
+def test_cli_lint_unknown_rule_exits_two(tmp_path, capsys):
+    write_pkg(tmp_path, {"pkg/mod.py": "x = 1\n"})
+    assert main(["lint", str(tmp_path), "--rules", "NOPE-999"]) == 2
+    assert "NOPE-999" in capsys.readouterr().err
+
+
+def test_cli_list_shows_lint_rules(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "lint rules (repro lint):" in out
+    for rule_id in ("STATE-001", "REG-001", "KER-001", "DT-001", "RT-001"):
+        assert rule_id in out
+
+
+# ---------------------------------------------------------------------------
+# The shipped tree and the runtime contracts
+# ---------------------------------------------------------------------------
+
+
+def test_shipped_tree_lints_clean():
+    result = lint_paths([default_target()])
+    assert result.findings == [], "\n".join(
+        str(f) for f in result.findings
+    )
+    # Every shipped waiver carries a written reason.
+    assert result.waived, "expected the tree to document some waivers"
+    for finding in result.waived:
+        assert finding.waive_reason
+
+
+def test_every_rule_has_id_family_description():
+    for rule_id in LINT_RULES.available():
+        rule = LINT_RULES.get(rule_id)
+        assert rule.rule_id == rule_id
+        assert rule.family
+        assert rule.description
+        assert rule.scope in ("static", "runtime")
+
+
+@pytest.mark.slow
+def test_runtime_contracts_hold_for_all_components():
+    findings = run_runtime_checks()
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+@pytest.mark.slow
+def test_cli_lint_runtime_flag(capsys):
+    assert main(["lint", "--runtime"]) == 0
+    out = capsys.readouterr().out
+    assert "13 rules" in out
