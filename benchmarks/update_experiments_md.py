@@ -318,6 +318,24 @@ ENTRIES = [
         "registered transmission policy and forecaster bank.",
     ),
     (
+        "scenarios",
+        "Scenarios — link models and fleet churn overhead (extension)",
+        "(Not in the paper; realizes its *large-scale distributed "
+        "system* premise as testable adversity.) The paper's protocol "
+        "must keep working when the network between nodes and "
+        "controller loses, delays and serializes messages and when "
+        "the fleet itself churns; the controller keeps the last "
+        "received value for silent nodes (the staleness rule).",
+        "Confirmed: interposing a link model costs little over the "
+        "bare streaming session — the pass-through IdealLink is "
+        "asserted bit-identical to no link at all before timing, and "
+        "a NetworkLink with i.i.d.+burst loss, shared uplinks and one "
+        "slot of latency (every delivery re-ingested through the "
+        "late-arrival contract) stays well under the 4x overhead bar, "
+        "with message conservation (sent = delivered + dropped + in "
+        "flight) asserted after every run.",
+    ),
+    (
         "ablation_deadband",
         "Ablation — deadband (send-on-delta) vs Lyapunov (extension)",
         "(Validates Sec. II's argument.) Threshold-based adaptive "

@@ -59,6 +59,7 @@ from repro.registry import (
     COLLECTION_BACKENDS,
     FORECASTERS,
     FORECASTER_BANKS,
+    SCENARIOS,
     SIMILARITY_MEASURES,
     TRANSMISSION_POLICIES,
     Registry,
@@ -66,7 +67,7 @@ from repro.registry import (
 from repro.session import StreamSession
 from repro.simulation.fleet import FleetState
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Engine",
@@ -88,6 +89,7 @@ __all__ = [
     "COLLECTION_BACKENDS",
     "FORECASTERS",
     "FORECASTER_BANKS",
+    "SCENARIOS",
     "SIMILARITY_MEASURES",
     "TRANSMISSION_POLICIES",
     "CheckpointError",

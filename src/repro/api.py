@@ -146,6 +146,11 @@ class RunResult(PipelineResult):
             snapshot after the last slot — final stored values, clocks,
             last-transmit slots and per-node message counters.
         shards: How many node shards the collection stage ran as.
+        late_applied: Late arrivals applied under the reorder window
+            (session-backed runs; batch collection is always in-order,
+            so 0 there).
+        late_dropped: Late arrivals dropped (superseded or beyond the
+            reorder window).
     """
 
     transport: Optional[TransportStats]
@@ -155,6 +160,8 @@ class RunResult(PipelineResult):
     bank: str = "object"
     fleet: Optional[FleetState] = None
     shards: int = 1
+    late_applied: int = 0
+    late_dropped: int = 0
 
     def summary(self) -> str:
         """Human-readable run summary (CLI/report friendly)."""
@@ -278,6 +285,7 @@ class Engine:
         *,
         reorder_window: int = 0,
         vectorized: Optional[bool] = None,
+        link: Optional[Any] = None,
     ) -> StreamSession:
         """Open a new long-lived :class:`~repro.session.StreamSession`.
 
@@ -295,6 +303,8 @@ class Engine:
             vectorized: Force the slot path (kernel vs object loop);
                 default picks the batched kernel when the policy has
                 one.
+            link: Optional :class:`~repro.scenarios.links.LinkModel`
+                interposed between transmissions and the channel.
         """
         if num_nodes is None and num_resources is None:
             if self._stream_dims is None:
@@ -316,10 +326,14 @@ class Engine:
             forecaster_factory=self._forecaster_factory,
             reorder_window=reorder_window,
             vectorized=vectorized,
+            link=link,
         )
 
     def resume(
-        self, source: Union[Checkpoint, str, Path]
+        self,
+        source: Union[Checkpoint, str, Path],
+        *,
+        link: Optional[Any] = None,
     ) -> StreamSession:
         """Reconstruct a session from a checkpoint, bit-identically.
 
@@ -332,6 +346,11 @@ class Engine:
         Args:
             source: A :class:`~repro.checkpoint.Checkpoint` or a path
                 to one saved with ``save``.
+            link: A :class:`~repro.scenarios.links.LinkModel` shell of
+                the checkpoint's configuration; required when the
+                checkpoint was taken from a linked session (the link's
+                queues and generator resume from the checkpoint), sized
+                to the checkpoint's fleet.
 
         Raises:
             CheckpointError: On format-version mismatch (raised by
@@ -377,6 +396,7 @@ class Engine:
             int(meta["num_resources"]),
             reorder_window=int(meta["reorder_window"]),
             vectorized=bool(meta["vectorized"]),
+            link=link,
         )
         session.restore(checkpoint)
         self._session = session

@@ -14,6 +14,10 @@ Commands:
   batch path, with ``--checkpoint <path>`` (and ``--checkpoint-every
   N``) writing durable snapshots and ``--resume <path>`` continuing
   bit-identically from one.
+* ``run --scenario <name>`` — replay a registered scenario (link model
+  × churn schedule × trace source, see :mod:`repro.scenarios`) through
+  a streaming session; supports the same ``--checkpoint`` /
+  ``--checkpoint-every`` / ``--resume`` flags plus ``--steps``.
 * ``demo`` — run the quickstart pipeline on a synthetic trace.
 * ``lint [paths...]`` — run the repo-specific invariant checks
   (state contracts, registry consistency, kernel purity, dtype
@@ -39,6 +43,7 @@ from repro.registry import (
     COLLECTION_BACKENDS,
     FORECASTERS,
     FORECASTER_BANKS,
+    SCENARIOS,
     SIMILARITY_MEASURES,
     SLOT_KERNELS,
     TRANSMISSION_POLICIES,
@@ -103,6 +108,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stream", action="store_true",
         help="drive a streaming session slot by slot instead of the "
              "batch path (--config runs only)",
+    )
+    run_parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="replay a registered scenario (link model x churn x trace "
+             "source) through a streaming session "
+             f"(one of: {', '.join(SCENARIOS.available())})",
     )
     run_parser.add_argument(
         "--policy", default="adaptive",
@@ -176,6 +187,7 @@ def _command_list() -> int:
         ("transmission policies", TRANSMISSION_POLICIES),
         ("slot kernels", SLOT_KERNELS),
         ("similarity measures", SIMILARITY_MEASURES),
+        ("scenarios", SCENARIOS),
     ):
         print(f"  {label:<22} {', '.join(registry.available())}")
     print(f"\ncheckpoint format: v{CHECKPOINT_FORMAT_VERSION}")
@@ -313,7 +325,56 @@ def _command_run_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_run_scenario(args: argparse.Namespace) -> int:
+    """Replay a registered scenario through a streaming session."""
+    from repro.scenarios import run_scenario
+    from repro.scenarios.harness import resolve_scenario
+
+    if args.nodes is not None:
+        print(
+            "--nodes does not apply to --scenario runs (fleet size is "
+            "part of the scenario spec)", file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint_every is not None and args.checkpoint is None:
+        print("--checkpoint-every requires --checkpoint", file=sys.stderr)
+        return 2
+    try:
+        spec = resolve_scenario(args.scenario)
+        if args.steps is not None:
+            spec = spec.with_steps(args.steps)
+        started = time.perf_counter()
+        report = run_scenario(
+            spec,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume_from=args.resume,
+        )
+    except OSError as exc:
+        print(f"cannot read checkpoint: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"scenario failed: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    print(report.summary())
+    if args.checkpoint is not None:
+        print(f"checkpoint written: {args.checkpoint} "
+              f"(format v{CHECKPOINT_FORMAT_VERSION})")
+    print(f"[{elapsed:.1f}s, {report.slots / max(elapsed, 1e-9):.0f} "
+          "slots/s]")
+    return 0
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        if args.experiments or args.config is not None or args.stream:
+            print(
+                "--scenario runs standalone (no experiment ids, "
+                "--config or --stream)", file=sys.stderr,
+            )
+            return 2
+        return _command_run_scenario(args)
     if args.stream or args.resume is not None:
         if args.experiments:
             print(

@@ -200,6 +200,49 @@ class DynamicClusterTracker:
         return assignment
 
     # ------------------------------------------------------------------
+    # Fleet churn (node-axis remapping)
+    # ------------------------------------------------------------------
+
+    def reindex_nodes(
+        self, index_map: np.ndarray, *, fill_label: int = 0
+    ) -> None:
+        """Remap the node axis of every remembered labelling.
+
+        Fleet churn renumbers nodes; the similarity window (Eq. 10) and
+        the recorded assignments are node-aligned label arrays, so both
+        are rebuilt as ``new[i] = old[index_map[i]]``, with joined
+        nodes (``index_map[i] == -1``) backfilled with ``fill_label``.
+        The whole assignment history is remapped — not just the
+        window — so the checkpoint contract (one stackable ``(t, N)``
+        label matrix) keeps holding after churn.  Centroid histories
+        are per-cluster and unaffected.
+
+        Args:
+            index_map: int array, one entry per *new* node: the old
+                node index it descends from, or ``-1`` for a join.
+            fill_label: Cluster label assumed for a joined node's
+                missing history (it corrects itself within one
+                similarity window).
+        """
+        index_map = np.asarray(index_map, dtype=np.int64).ravel()
+        fresh = index_map < 0
+        gather = np.where(fresh, 0, index_map)
+
+        def remap(labels: np.ndarray) -> np.ndarray:
+            out = np.asarray(labels)[gather].copy()
+            out[fresh] = int(fill_label)
+            return out
+
+        window = [remap(labels) for labels in self._label_window]
+        self._label_window = deque(window, maxlen=self.history_depth)
+        self._assignments = [
+            ClusterAssignment(
+                time=a.time, labels=remap(a.labels), centroids=a.centroids
+            )
+            for a in self._assignments
+        ]
+
+    # ------------------------------------------------------------------
     # Checkpoint state contract
     # ------------------------------------------------------------------
 

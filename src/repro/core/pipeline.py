@@ -79,6 +79,12 @@ class StepOutput:
             ``forecasting``, ``total``), mirroring
             :attr:`repro.api.RunResult.timings`.  None outside a
             session.
+        late_applied: The session's *cumulative* applied-late-arrival
+            counter at the close of this slot (see
+            :meth:`repro.session.StreamSession.ingest`).  None outside
+            a session.
+        late_dropped: Cumulative dropped-late-arrival counter at the
+            close of this slot.  None outside a session.
     """
 
     time: int
@@ -89,6 +95,8 @@ class StepOutput:
     memberships: Optional[np.ndarray] = None
     transport: Optional["TransportStats"] = None
     timings: Optional[Dict[str, float]] = None
+    late_applied: Optional[int] = None
+    late_dropped: Optional[int] = None
 
 
 class OnlinePipeline:
@@ -248,6 +256,35 @@ class OnlinePipeline:
             self.stage_seconds["forecasting"] += time.perf_counter() - started
         self._time += 1
         return output
+
+    # ------------------------------------------------------------------
+    # Fleet churn (node-axis remapping)
+    # ------------------------------------------------------------------
+
+    def reindex_nodes(self, index_map: np.ndarray) -> None:
+        """Adopt a new fleet geometry (grow/compact) mid-stream.
+
+        The pipeline's node-aligned state is bounded: the stored-value
+        and label history rings plus each tracker's remembered
+        labellings.  All are remapped as ``new[i] = old[index_map[i]]``
+        (``-1`` marks a joined node: zero stored history, label 0 until
+        its own labels fill the window).  Cluster-level state — the
+        forecaster banks and centroid histories — is node-free and
+        untouched, so forecasts continue seamlessly across churn.
+
+        Args:
+            index_map: int array, one entry per *new* node: the old
+                node index it descends from, or ``-1`` for a join.
+        """
+        index_map = np.asarray(index_map, dtype=np.int64).ravel()
+        if index_map.size < 1:
+            raise ConfigurationError("index_map must cover >= 1 node")
+        self.num_nodes = int(index_map.size)
+        self._stored_history.reindex(index_map, fill=0.0)
+        for ring in self._label_history:
+            ring.reindex(index_map, fill=0)
+        for tracker in self._trackers:
+            tracker.reindex_nodes(index_map, fill_label=0)
 
     # ------------------------------------------------------------------
     # Checkpoint state contract

@@ -91,6 +91,37 @@ class SlotRing:
         self._length = 0
         self._cursor = 0
 
+    def reindex(self, index_map: np.ndarray, fill) -> None:
+        """Remap axis 0 of every retained slot (fleet churn support).
+
+        Each retained slot array is rebuilt as
+        ``new[i] = old[index_map[i]]`` where ``index_map[i] >= 0``, and
+        ``new[i] = fill`` for ``index_map[i] == -1`` (a node with no
+        history — a fresh join).  The window length and order are
+        unchanged; the buffer is reallocated to the new slot shape.
+
+        Args:
+            index_map: int array, one entry per *new* row: the old row
+                index it descends from, or ``-1``.
+            fill: Backfill value for ``-1`` rows (scalar, broadcast
+                over the slot's trailing dimensions).
+        """
+        index_map = np.asarray(index_map, dtype=np.int64).ravel()
+        if self._buffer is None or self._length == 0:
+            # Nothing retained: drop the allocation so the next append
+            # defines the new slot shape.
+            self._buffer = None
+            self.clear()
+            return
+        window = self.ordered()
+        fresh = index_map < 0
+        remapped = window[:, np.where(fresh, 0, index_map)]
+        remapped[:, fresh] = fill
+        self._buffer = None
+        self.clear()
+        for row in remapped:
+            self.append(row)
+
     # -- checkpoint state contract --------------------------------------
 
     def get_state(self) -> dict:

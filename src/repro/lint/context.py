@@ -28,11 +28,17 @@ KERNEL_REGISTRY_VARS = frozenset(
 #: Modules hosting the *shared* scalar/batch kernels the banks iterate
 #: (``ewma_run``, ``hold_forecast``, ``fit_yule_walker_batch``, …) —
 #: kernel-purity rules cover them even though the registrations that
-#: re-export them live in ``forecasting/bank.py``.
+#: re-export them live in ``forecasting/bank.py``.  The scenario
+#: engine's link and churn models are held to the same bar: their only
+#: randomness must come from explicitly seeded, checkpointable
+#: generators (waived per call site), never ambient ``np.random`` or
+#: wall clocks.
 KERNEL_SHARED_PATTERNS = (
     "*.forecasting.exponential",
     "*.forecasting.sample_hold",
     "*.forecasting.yule_walker",
+    "*.scenarios.links",
+    "*.scenarios.churn",
 )
 
 

@@ -207,6 +207,11 @@ SIMILARITY_MEASURES = Registry(
     "similarity measure", modules=("repro.clustering.similarity",)
 )
 
+#: Scenario name → builder ``() -> ScenarioSpec`` (link model × churn
+#: schedule × trace source), run by
+#: :func:`repro.scenarios.harness.run_scenario`.
+SCENARIOS = Registry("scenario", modules=("repro.scenarios.builtin",))
+
 
 def register_forecaster(
     name: str, *, override: bool = False
@@ -282,6 +287,18 @@ def register_similarity(
     return SIMILARITY_MEASURES.register(name, override=override)
 
 
+def register_scenario(
+    name: str, *, override: bool = False
+) -> Callable[[Any], Any]:
+    """Decorator registering a scenario builder.
+
+    The builder takes no arguments and returns a fresh
+    :class:`~repro.scenarios.spec.ScenarioSpec` (specs are cheap value
+    objects; building per lookup keeps registered scenarios immutable).
+    """
+    return SCENARIOS.register(name, override=override)
+
+
 __all__ = [
     "Registry",
     "closest",
@@ -291,10 +308,12 @@ __all__ = [
     "SLOT_KERNELS",
     "COLLECTION_BACKENDS",
     "SIMILARITY_MEASURES",
+    "SCENARIOS",
     "register_forecaster",
     "register_forecaster_bank",
     "register_transmission_policy",
     "register_slot_kernel",
     "register_collection_backend",
     "register_similarity",
+    "register_scenario",
 ]

@@ -1,0 +1,52 @@
+"""Scenario engine: network link models, fleet churn, trace replay.
+
+The paper evaluates collection and forecasting over an idealized
+network; this subsystem replays the real-trace loaders through a
+:class:`~repro.session.StreamSession` under *adverse* conditions —
+per-node loss and latency, burst (Gilbert–Elliott) loss episodes,
+shared-uplink contention with FIFO drain, and fleet churn (joins,
+departures, crash-restarts) — without touching the collection or
+forecasting mathematics: every delayed delivery flows through the
+session's documented late-arrival contract, and every loss simply
+leaves the previous stored value in place (the paper's staleness rule).
+
+Composable pieces:
+
+* :mod:`~repro.scenarios.links` — link models interposed between
+  transmission decisions and the channel;
+* :mod:`~repro.scenarios.churn` — churn schedules and the replayable
+  session-node ↔ trace-column membership track;
+* :mod:`~repro.scenarios.spec` — :class:`ScenarioSpec`, the value
+  object combining link model × churn schedule × trace source;
+* :mod:`~repro.scenarios.harness` — :func:`run_scenario`, the replay
+  loop producing a :class:`~repro.scenarios.report.ScenarioReport`;
+* :mod:`~repro.scenarios.builtin` — named specs self-registered into
+  :data:`repro.registry.SCENARIOS` (``repro run --scenario NAME``).
+"""
+
+from repro.scenarios.churn import ChurnEvent, ChurnSchedule, MembershipTrack
+from repro.scenarios.harness import run_scenario
+from repro.scenarios.links import (
+    IdealLink,
+    LinkConfig,
+    LinkModel,
+    NetworkLink,
+    build_link,
+)
+from repro.scenarios.report import ScenarioReport
+from repro.scenarios.spec import TRACE_SOURCES, ScenarioSpec
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
+    "IdealLink",
+    "LinkConfig",
+    "LinkModel",
+    "MembershipTrack",
+    "NetworkLink",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "TRACE_SOURCES",
+    "build_link",
+    "run_scenario",
+]

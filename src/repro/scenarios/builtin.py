@@ -1,0 +1,126 @@
+"""Built-in scenarios, self-registered into the SCENARIOS registry.
+
+Each builder returns a fresh :class:`~repro.scenarios.spec.ScenarioSpec`
+— link model × churn schedule × trace source — runnable via
+``repro run --scenario NAME`` or
+:func:`repro.scenarios.harness.run_scenario`.  ``lossy_churn`` is the
+kitchen-sink acceptance scenario: i.i.d. plus burst loss, shared-uplink
+contention, propagation latency, and all three churn kinds at once.
+"""
+
+from __future__ import annotations
+
+from repro.registry import register_scenario
+from repro.scenarios.churn import ChurnEvent, ChurnSchedule
+from repro.scenarios.links import LinkConfig
+from repro.scenarios.spec import ScenarioSpec
+
+
+@register_scenario("ideal")
+def _ideal() -> ScenarioSpec:
+    """Pass-through link, static fleet: the bit-identity baseline."""
+    return ScenarioSpec(
+        name="ideal",
+        source="alibaba",
+        num_steps=200,
+        total_nodes=24,
+        initial_nodes=24,
+    )
+
+
+@register_scenario("lossy")
+def _lossy() -> ScenarioSpec:
+    """5% i.i.d. loss plus one slot of propagation latency."""
+    return ScenarioSpec(
+        name="lossy",
+        source="alibaba",
+        num_steps=200,
+        total_nodes=24,
+        initial_nodes=24,
+        link=LinkConfig(loss=0.05, latency=1, seed=101),
+    )
+
+
+@register_scenario("bursty")
+def _bursty() -> ScenarioSpec:
+    """Gilbert–Elliott burst-loss episodes over the Google-like trace."""
+    return ScenarioSpec(
+        name="bursty",
+        source="google",
+        num_steps=200,
+        total_nodes=24,
+        initial_nodes=24,
+        link=LinkConfig(
+            burst_enter=0.05, burst_exit=0.3, burst_loss=0.9,
+            latency=1, seed=102,
+        ),
+    )
+
+
+@register_scenario("contended")
+def _contended() -> ScenarioSpec:
+    """Two shared uplinks with tight FIFO drain capacity."""
+    return ScenarioSpec(
+        name="contended",
+        source="bitbrains",
+        num_steps=200,
+        total_nodes=24,
+        initial_nodes=24,
+        link=LinkConfig(uplinks=2, uplink_capacity=4, seed=103),
+    )
+
+
+@register_scenario("churny")
+def _churny() -> ScenarioSpec:
+    """Ideal link but a restless fleet: joins, leaves, crash-restarts."""
+    return ScenarioSpec(
+        name="churny",
+        source="sensor",
+        resource="temperature",
+        num_steps=200,
+        total_nodes=32,
+        initial_nodes=22,
+        seed=7,
+        churn=ChurnSchedule([
+            ChurnEvent(slot=60, kind="join", count=4),
+            ChurnEvent(slot=90, kind="crash", count=3),
+            ChurnEvent(slot=120, kind="leave", count=5),
+            ChurnEvent(slot=150, kind="join", count=3),
+            ChurnEvent(slot=175, kind="crash", count=2),
+        ]),
+    )
+
+
+@register_scenario("lossy_churn")
+def _lossy_churn() -> ScenarioSpec:
+    """Everything at once — the acceptance scenario.
+
+    i.i.d. and burst loss, two contended uplinks, one slot of latency,
+    and a churn schedule mixing all three event kinds, over the
+    Alibaba-like trace.
+    """
+    return ScenarioSpec(
+        name="lossy_churn",
+        source="alibaba",
+        num_steps=220,
+        total_nodes=32,
+        initial_nodes=24,
+        seed=11,
+        link=LinkConfig(
+            loss=0.03,
+            burst_enter=0.04, burst_exit=0.35, burst_loss=0.8,
+            latency=1,
+            uplinks=2, uplink_capacity=6,
+            seed=104,
+        ),
+        churn=ChurnSchedule([
+            ChurnEvent(slot=70, kind="join", count=4),
+            ChurnEvent(slot=100, kind="crash", count=3),
+            ChurnEvent(slot=130, kind="leave", count=4),
+            ChurnEvent(slot=160, kind="join", count=2),
+            ChurnEvent(slot=190, kind="leave", count=2),
+        ]),
+    )
+
+
+__all__: list = []

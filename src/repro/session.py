@@ -46,13 +46,44 @@ Partial-slot and late-arrival semantics (documented contract):
   superseded values are dropped.  Late data never re-runs transmission
   policies and never re-opens closed clustering slots.
 * ``t > session.time`` is an error — slots close in order.
+
+Two orthogonal extensions ride on that contract (the scenario engine,
+:mod:`repro.scenarios`, composes both):
+
+* **Link models** — an optional ``link`` (see
+  :mod:`repro.scenarios.links`) sits between the transmission decision
+  and the channel.  Policies still run for every reporting node (their
+  clocks and policy state advance on the *decision*), but only the
+  messages the link delivers within the slot reach the store and the
+  transport counters; lost messages leave the previous stored value in
+  place (the node retries per its policy — an unobserved node's forced
+  first transmission simply happens again), and delayed messages
+  mature inside the link until the driver re-ingests them as late
+  arrivals (``ingest(values, ids, t=origin_slot)``) through the
+  contract above.  No link (or the ideal link) is bit-identical to the
+  plain path.
+* **Fleet churn** — :meth:`StreamSession.grow` /
+  :meth:`StreamSession.compact` resize the fleet between slots
+  (columns reallocate; the channel's counter column is re-adopted with
+  retired-message accounting, the pipeline's bounded node-aligned
+  histories are remapped, cluster-level model state is untouched), and
+  :meth:`StreamSession.restart_nodes` injects crash-restart failures
+  (policy state reset, forced retransmission, identity kept).
 """
 
 from __future__ import annotations
 
 import time as _time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
@@ -75,6 +106,9 @@ from repro.simulation.fleet import FleetState
 from repro.simulation.node import LocalNode
 from repro.simulation.transport import Channel, TransportStats
 from repro.transmission.base import TransmissionPolicy
+
+if TYPE_CHECKING:  # import cycle: scenarios builds on the session API
+    from repro.scenarios.links import LinkModel
 
 #: A per-node policy factory receives the node id.
 PolicyFactory = Callable[[int], TransmissionPolicy]
@@ -105,6 +139,9 @@ class StreamSession:
             slot kernel for ``policy``, False forces the per-node
             object loop, None (default) picks the kernel when one
             exists.
+        link: Optional link model (see :mod:`repro.scenarios.links`)
+            interposed between transmission decisions and the channel;
+            None (default) is the plain lossless path.
     """
 
     def __init__(
@@ -118,6 +155,7 @@ class StreamSession:
         forecaster_factory: Optional[ForecasterFactory] = None,
         reorder_window: int = 0,
         vectorized: Optional[bool] = None,
+        link: Optional["LinkModel"] = None,
     ) -> None:
         if num_nodes < 1 or num_resources < 1:
             raise ConfigurationError(
@@ -159,6 +197,12 @@ class StreamSession:
             )
         self.vectorized = bool(vectorized)
         self._kernel = kernel if self.vectorized else None
+        if link is not None and link.num_nodes != int(num_nodes):
+            raise ConfigurationError(
+                f"link models {link.num_nodes} nodes, session has "
+                f"{num_nodes}"
+            )
+        self.link = link
 
         # Live state: one columnar fleet, the channel's counters backed
         # by its message_counts column, the store and pipeline as views
@@ -315,6 +359,8 @@ class StreamSession:
         output.transport = TransportStats.from_node_counts(
             counts, self.num_resources
         )
+        output.late_applied = self.late_applied
+        output.late_dropped = self.late_dropped
         timings = {"collection": collection_seconds}
         for stage, seconds in self.pipeline.stage_seconds.items():
             timings[stage] = seconds - stage_before.get(stage, 0.0)
@@ -338,7 +384,7 @@ class StreamSession:
                 fleet.times,
             )
             fleet.times += 1
-            senders = transmit
+            sender_ids = np.flatnonzero(transmit)
         else:
             state = fleet.policy_state[ids]
             transmit = self._kernel(
@@ -347,14 +393,23 @@ class StreamSession:
             )
             fleet.policy_state[ids] = state
             fleet.times[ids] += 1
-            senders = ids[transmit]
-        fleet.stored[senders] = x[transmit]
-        fleet.observed[senders] = True
-        fleet.last_update[senders] = slot
-        counts = np.zeros(self.num_nodes, dtype=np.int64)
-        counts[senders] = 1
-        self.channel.record_batch(counts, self.num_resources)
-        return counts
+            sender_ids = ids[transmit]
+        payload = x[transmit]
+        if self.link is not None:
+            # The link decides which of this slot's messages arrive now;
+            # the rest are lost (previous stored value stays) or mature
+            # inside the link for later late-arrival ingestion.  The
+            # decision already happened: clocks and policy state
+            # advanced above for every sender regardless of delivery.
+            kept = self.link.transfer(slot, sender_ids, payload)
+            sender_ids = sender_ids[kept]
+            payload = payload[kept]
+        fleet.stored[sender_ids] = payload
+        fleet.observed[sender_ids] = True
+        fleet.last_update[sender_ids] = slot
+        return self.channel.record_deliveries(
+            sender_ids, self.num_nodes, self.num_resources
+        )
 
     def _transmit_objects(
         self, x: np.ndarray, ids: Optional[np.ndarray], slot: int
@@ -364,15 +419,53 @@ class StreamSession:
         Returns this slot's per-node delivered-message counts ``(N,)``.
         """
         nodes = self.nodes
+        fleet = self.fleet
         id_list = (
             range(self.num_nodes) if ids is None else ids.tolist()
         )
         counts = np.zeros(self.num_nodes, dtype=np.int64)
+        linked = self.link is not None
+        emitted = []  # (node id, pre-observe mirror state, message)
         for row, i in enumerate(id_list):
+            before = None
+            if linked:
+                # observe() optimistically updates the node's mirror of
+                # the central store; a link loss rolls that back (the
+                # controller received nothing, and the node learns so
+                # from the missing link-layer ack).
+                before = (
+                    bool(fleet.observed[i]),
+                    int(fleet.last_update[i]),
+                    fleet.stored[i].copy() if fleet.dim else None,
+                )
             message = nodes[i].observe(x[row])
             if message is not None:
-                self.channel.send(message)
-                counts[i] = 1
+                emitted.append((i, before, message))
+        if linked and emitted:
+            sender_ids = np.array([e[0] for e in emitted], dtype=np.int64)
+            payload = np.stack([e[2].value for e in emitted])
+            kept = set(
+                int(k)
+                for k in np.asarray(
+                    self.link.transfer(slot, sender_ids, payload)
+                ).ravel()
+            )
+            delivered = []
+            for pos, (i, before, message) in enumerate(emitted):
+                if pos in kept:
+                    delivered.append((i, None, message))
+                    continue
+                was_observed, was_last_update, was_stored = before
+                fleet.observed[i] = was_observed
+                fleet.last_update[i] = was_last_update
+                if was_stored is not None:
+                    fleet.stored[i] = was_stored
+                elif fleet.dim:
+                    fleet.stored[i] = 0.0
+            emitted = delivered
+        for i, _, message in emitted:
+            self.channel.send(message)
+            counts[i] = 1
         self.store.apply(self.channel.drain(), now=slot)
         return counts
 
@@ -392,9 +485,9 @@ class StreamSession:
         fleet.stored[apply_ids] = x[fresh]
         fleet.observed[apply_ids] = True
         fleet.last_update[apply_ids] = slot
-        counts = np.zeros(self.num_nodes, dtype=np.int64)
-        counts[apply_ids] = 1
-        self.channel.record_batch(counts, self.num_resources)
+        self.channel.record_deliveries(
+            apply_ids, self.num_nodes, self.num_resources
+        )
         self.late_applied += int(apply_ids.size)
         self.late_dropped += int(ids.size - apply_ids.size)
 
@@ -438,6 +531,101 @@ class StreamSession:
         return selected
 
     # ------------------------------------------------------------------
+    # Fleet churn
+    # ------------------------------------------------------------------
+
+    def grow(self, count: int) -> np.ndarray:
+        """Admit ``count`` new nodes between slots.
+
+        Every column reallocates (:meth:`FleetState.grow
+        <repro.simulation.fleet.FleetState.grow>`); the channel
+        re-adopts the counter column, the store refreshes its cached
+        geometry, the pipeline's node-aligned histories are remapped
+        (new nodes backfilled), and the link model (if any) widens.
+        New nodes start unobserved with their clocks at the session
+        frontier, so their first report triggers the forced initial
+        transmission exactly like a fresh fleet's.
+
+        Returns:
+            The new nodes' ids, ``old_n .. old_n + count - 1``.
+        """
+        old_n = self.num_nodes
+        new_ids = self.fleet.grow(count, clock=self._time)
+        self.num_nodes = self.fleet.num_nodes
+        self.channel.stats.adopt_column(self.fleet.message_counts)
+        self.store.num_nodes = self.fleet.num_nodes
+        index_map = np.concatenate([
+            np.arange(old_n, dtype=np.int64),
+            np.full(int(count), -1, dtype=np.int64),
+        ])
+        self.pipeline.reindex_nodes(index_map)
+        if self.link is not None:
+            self.link.grow(count)
+        if self.vectorized:
+            self._nodes = None
+        elif self._nodes is not None:
+            for i in new_ids.tolist():
+                self._nodes.append(
+                    self.fleet.node_view(i, self._policy_factory(i))
+                )
+        return new_ids
+
+    def compact(self, keep: Sequence[int]) -> None:
+        """Remove departed nodes between slots, renumbering survivors.
+
+        ``keep`` (strictly increasing old ids) become nodes ``0..k-1``
+        in order.  Surviving nodes carry every column value across; the
+        channel re-adopts the counter column (departed counts move to
+        ``retired_messages``, cumulative totals unchanged), the
+        pipeline's histories are gathered, and the link model drops the
+        departed nodes' queued traffic as churn losses.
+        """
+        keep = np.asarray(keep, dtype=np.int64).ravel()
+        self.fleet.compact(keep)
+        self.num_nodes = self.fleet.num_nodes
+        self.channel.stats.adopt_column(self.fleet.message_counts)
+        self.store.num_nodes = self.fleet.num_nodes
+        self.pipeline.reindex_nodes(keep)
+        if self.link is not None:
+            self.link.compact(keep)
+        if self.vectorized:
+            self._nodes = None
+        elif self._nodes is not None:
+            survivors = [self._nodes[int(i)] for i in keep.tolist()]
+            for new_index, node in enumerate(survivors):
+                node.rebind(new_index)
+            self._nodes = survivors
+
+    def restart_nodes(self, node_ids: Sequence[int]) -> None:
+        """Crash-restart failure injection: nodes lose local state.
+
+        The named nodes forget that they ever transmitted (``observed``
+        cleared, policy state zeroed — object-loop sessions rebuild the
+        policy objects), so their next report is a forced initial
+        transmission.  The central store keeps their last received
+        value (the controller does not know they crashed); the link
+        drops their queued/in-flight traffic as churn losses.
+        """
+        ids = np.asarray(node_ids, dtype=np.int64).ravel()
+        if ids.size == 0:
+            return
+        if ids.min() < 0 or ids.max() >= self.num_nodes:
+            raise DataError(f"node_ids outside [0, {self.num_nodes})")
+        if np.unique(ids).size != ids.size:
+            raise DataError("node_ids contains duplicates")
+        self.fleet.observed[ids] = False
+        self.fleet.policy_state[ids] = 0.0
+        if self.link is not None:
+            self.link.fail_nodes(ids)
+        if self.vectorized:
+            self._nodes = None
+        elif self._nodes is not None:
+            for i in ids.tolist():
+                self._nodes[i] = self.fleet.node_view(
+                    i, self._policy_factory(i)
+                )
+
+    # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
 
@@ -474,6 +662,10 @@ class StreamSession:
                     ],
                 }
             ),
+            # Link models serialize their queues and RNG mid-stream, so
+            # snapshotting with messages in flight is fine — they mature
+            # identically after resume.
+            "link": None if self.link is None else self.link.get_state(),
         }
         session = {
             "num_nodes": self.num_nodes,
@@ -486,6 +678,7 @@ class StreamSession:
             "vectorized": self.vectorized,
             "late_applied": self.late_applied,
             "late_dropped": self.late_dropped,
+            "linked": self.link is not None,
         }
         return Checkpoint(
             config=self.config.to_dict(),
@@ -529,6 +722,16 @@ class StreamSession:
                 )
             for node, policy_state in zip(self.nodes, policy_states):
                 node.policy.set_state(policy_state)
+        if bool(meta.get("linked", False)):
+            if self.link is None:
+                raise CheckpointError(
+                    "checkpoint was taken from a linked session (its "
+                    "link model may hold in-flight messages); resume "
+                    "with a link of the same configuration"
+                )
+            self.link.set_state(state["link"])
+        # A linkless checkpoint resumed with a link keeps the freshly
+        # constructed link: the scenario starts applying from here on.
         self._time = int(meta["time"])
         self.reorder_window = int(meta["reorder_window"])
         self.late_applied = int(meta["late_applied"])

@@ -143,6 +143,93 @@ class FleetState:
         stored[sent_any] = final[sent_any]
         self.observed |= sent_any
 
+    # ------------------------------------------------------------------
+    # Fleet churn (geometry changes)
+    # ------------------------------------------------------------------
+
+    def grow(self, count: int, *, clock: int = 0) -> np.ndarray:
+        """Append ``count`` fresh nodes to the fleet.
+
+        Every column is reallocated with the new geometry; the new
+        nodes start unobserved (``last_update = -1``, zero stored value
+        and policy state) exactly like slot-0 nodes, so their forced
+        first transmission happens on their first slot.  Holders of raw
+        column references must re-read them afterwards —
+        :class:`~repro.simulation.node.LocalNode` views and
+        :class:`~repro.simulation.transport.PerNodeMessages` read
+        through ``self.fleet``/``stats`` dynamically and stay live, but
+        fleet-backed :class:`~repro.simulation.transport.TransportStats`
+        must :meth:`~repro.simulation.transport.TransportStats.
+        adopt_column` the new ``message_counts``.
+
+        Args:
+            count: How many nodes join (>= 1).
+            clock: Initial per-node slot clock of the joining nodes —
+                pass the session's current frontier so all live nodes
+                share one clock.
+
+        Returns:
+            The new nodes' indices, ``[N_old, N_old + count)``.
+        """
+        count = int(count)
+        if count < 1:
+            raise SimulationError(f"grow count must be >= 1, got {count}")
+        old = self.num_nodes
+        self.num_nodes = old + count
+        self.observed = np.concatenate(
+            [self.observed, np.zeros(count, dtype=bool)]
+        )
+        self.times = np.concatenate(
+            [self.times, np.full(count, int(clock), dtype=np.int64)]
+        )
+        self.last_update = np.concatenate(
+            [self.last_update, np.full(count, -1, dtype=np.int64)]
+        )
+        self.message_counts = np.concatenate(
+            [self.message_counts, np.zeros(count, dtype=np.int64)]
+        )
+        self.policy_state = np.concatenate(
+            [self.policy_state, np.zeros(count, dtype=float)]
+        )
+        if self.stored is not None:
+            self.stored = np.concatenate(
+                [self.stored, np.zeros((count, self._dim), dtype=float)]
+            )
+        return np.arange(old, self.num_nodes, dtype=np.int64)
+
+    def compact(self, keep: Sequence[int]) -> None:
+        """Shrink the fleet to the ``keep`` nodes (in ascending order).
+
+        Surviving nodes are renumbered ``0..len(keep)-1`` in their
+        original relative order, so aligned per-node histories can be
+        gathered with the same index array.  Columns are reallocated;
+        see :meth:`grow` for the reference-rebinding rules.
+
+        Args:
+            keep: Strictly increasing indices of the surviving nodes
+                (at least one).
+        """
+        index = np.asarray(keep, dtype=np.int64).ravel()
+        if index.size < 1:
+            raise SimulationError("compact must keep at least one node")
+        if index.size > 1 and not (np.diff(index) > 0).all():
+            raise SimulationError(
+                "keep indices must be strictly increasing (survivors "
+                "keep their relative order)"
+            )
+        if index[0] < 0 or index[-1] >= self.num_nodes:
+            raise SimulationError(
+                f"keep indices outside [0, {self.num_nodes})"
+            )
+        self.num_nodes = int(index.size)
+        self.observed = self.observed[index].copy()
+        self.times = self.times[index].copy()
+        self.last_update = self.last_update[index].copy()
+        self.message_counts = self.message_counts[index].copy()
+        self.policy_state = self.policy_state[index].copy()
+        if self.stored is not None:
+            self.stored = self.stored[index].copy()
+
     def reset_nodes(self, index: Optional[int] = None) -> None:
         """Reset one node (or, with ``index=None``, the whole fleet)."""
         where = slice(None) if index is None else index

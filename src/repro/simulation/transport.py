@@ -106,6 +106,11 @@ class TransportStats:
     ) -> None:
         self._messages = 0
         self._payload_floats = 0
+        # Messages once counted for nodes whose counters have since left
+        # the column (fleet compaction): totals stay cumulative, so
+        # ``messages == column.sum() + retired`` is the fixed-mode
+        # invariant.
+        self._retired = 0
         if node_counts is None:
             self._node_counts = np.zeros(16, dtype=np.int64)
             self._fixed = False
@@ -143,6 +148,16 @@ class TransportStats:
     def per_node_messages(self) -> PerNodeMessages:
         """Dict-like per-node message counts (a live view)."""
         return PerNodeMessages(self)
+
+    @property
+    def retired_messages(self) -> int:
+        """Messages counted for nodes no longer in the counter column.
+
+        Non-zero only after fleet compaction (see :meth:`adopt_column`):
+        the departed nodes' deliveries stay in the cumulative totals but
+        have no per-node counter anymore.
+        """
+        return self._retired
 
     def payload_bytes(self, bytes_per_float: int = 8) -> int:
         """Payload volume assuming ``bytes_per_float`` per value."""
@@ -183,6 +198,42 @@ class TransportStats:
         self._payload_floats += messages * int(floats_per_message)
         self._node_counts[: per_node.shape[0]] += per_node
 
+    # -- geometry changes (fleet churn) ---------------------------------
+
+    def adopt_column(self, node_counts: np.ndarray) -> None:
+        """Re-adopt the fleet's counter column after a geometry change.
+
+        Fleet churn (:meth:`FleetState.grow
+        <repro.simulation.fleet.FleetState.grow>` /
+        :meth:`~repro.simulation.fleet.FleetState.compact`) reallocates
+        ``message_counts``; fixed stats must follow the new array so
+        fleet and transport stay one memory.  Cumulative totals are
+        preserved: counts that left the column (departed nodes) move
+        into :attr:`retired_messages`, keeping the invariant
+        ``messages == column.sum() + retired``.
+
+        Args:
+            node_counts: The fleet's new int64 ``message_counts`` column.
+        """
+        if not self._fixed:
+            raise SimulationError(
+                "adopt_column applies to fleet-backed (fixed) stats only"
+            )
+        if node_counts.dtype != np.int64:
+            raise SimulationError(
+                f"node_counts must be int64, got {node_counts.dtype}"
+            )
+        live_total = self._messages - self._retired
+        new_total = int(node_counts.sum())
+        if new_total > live_total:
+            raise SimulationError(
+                f"new counter column sums to {new_total} messages but "
+                f"only {live_total} are live; adopt the fleet's own "
+                "column after grow/compact, not an unrelated array"
+            )
+        self._retired += live_total - new_total
+        self._node_counts = node_counts
+
     # -- checkpoint state contract --------------------------------------
 
     def get_state(self) -> dict:
@@ -196,6 +247,7 @@ class TransportStats:
         state = {
             "messages": self._messages,
             "payload_floats": self._payload_floats,
+            "retired_messages": self._retired,
         }
         if not self._fixed:
             state["node_counts"] = self._node_counts.copy()
@@ -209,18 +261,21 @@ class TransportStats:
         are validated against it so a torn restore fails loudly.
         """
         messages = int(state["messages"])
+        retired = int(state.get("retired_messages", 0))
         if self._fixed:
             column_total = int(self._node_counts.sum())
-            if messages != column_total:
+            if messages != column_total + retired:
                 raise SimulationError(
-                    f"transport state claims {messages} messages but the "
-                    f"fleet's counter column sums to {column_total}; "
-                    "restore the fleet state first"
+                    f"transport state claims {messages} messages "
+                    f"({retired} retired) but the fleet's counter column "
+                    f"sums to {column_total}; restore the fleet state "
+                    "first"
                 )
         else:
             counts = np.asarray(state["node_counts"], dtype=np.int64)
             self._node_counts = counts.copy()
         self._messages = messages
+        self._retired = retired
         self._payload_floats = int(state["payload_floats"])
 
     # -- shard reduction ------------------------------------------------
@@ -281,6 +336,36 @@ class Channel:
             floats_per_message: Payload floats per message (``d``).
         """
         self.stats._count_batch(per_node, floats_per_message)
+
+    def record_deliveries(
+        self,
+        delivered_ids: np.ndarray,
+        num_nodes: int,
+        floats_per_message: int,
+    ) -> np.ndarray:
+        """Account one slot's *delivered* messages by node id.
+
+        The single choke point between "these messages reached the
+        controller" and the counters: callers hand over the delivered
+        node ids (at most one message per node per slot) and this
+        method builds the per-node count vector and advances the stats
+        exactly once.  Link models drop or delay messages *before* this
+        call, so a dropped message can never be counted and a delayed
+        one is counted only when its late arrival is actually applied.
+
+        Args:
+            delivered_ids: Node ids whose message was delivered this
+                slot (unique).
+            num_nodes: Fleet size ``N`` (the count vector's length).
+            floats_per_message: Payload floats per message (``d``).
+
+        Returns:
+            The int64 ``(N,)`` per-node delivered-message counts.
+        """
+        counts = np.zeros(int(num_nodes), dtype=np.int64)
+        counts[delivered_ids] = 1
+        self.stats._count_batch(counts, floats_per_message)
+        return counts
 
     def drain(self) -> List[Measurement]:
         """Remove and return all pending measurements (one slot's worth)."""

@@ -79,6 +79,31 @@ class TestReadmeSnippet:
         assert resumed.time == session.time
         assert resumed.late_applied + resumed.late_dropped == 1
 
+    def test_scenarios_snippet_runs(self):
+        # The code block from README.md §Scenarios, at tiny scale.
+        from repro.scenarios import (
+            ChurnEvent,
+            ChurnSchedule,
+            LinkConfig,
+            ScenarioSpec,
+            run_scenario,
+        )
+
+        report = run_scenario(ScenarioSpec(
+            name="mine", source="google", num_steps=80,
+            total_nodes=12, initial_nodes=9,
+            link=LinkConfig(
+                loss=0.05, latency=2, uplinks=2, uplink_capacity=8, seed=1
+            ),
+            churn=ChurnSchedule([
+                ChurnEvent(slot=40, kind="join", count=2),
+                ChurnEvent(slot=60, kind="crash", count=1),
+            ]),
+        ))
+        assert report.conserved
+        assert "conserved" in report.summary()
+        assert report.final_nodes == 11
+
     def test_readme_migration_table_mentions_old_entry_points(self):
         with open(os.path.join(REPO_ROOT, "README.md")) as handle:
             text = handle.read()
