@@ -2,11 +2,16 @@
 
 Each benchmark module regenerates one table or figure of the paper at a
 laptop-scale configuration (recorded in EXPERIMENTS.md).  Results are
-printed to stdout (run with ``-s`` to see them live) and appended to
-``benchmarks/results/`` so EXPERIMENTS.md entries can be refreshed by
-copy-paste.
+printed to stdout (run with ``-s`` to see them live) and written to
+``benchmarks/results/`` twice over: the human-readable table as
+``<name>.txt`` (pasted into EXPERIMENTS.md by
+``update_experiments_md.py``) and a machine-readable ``<name>.json``
+carrying the same text plus whatever structured rows the benchmark
+passed as ``data`` — so the bench trajectory can be tracked
+programmatically across commits instead of by diffing prose.
 """
 
+import json
 import os
 
 import pytest
@@ -16,13 +21,25 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 @pytest.fixture
 def record_result():
-    """Write a named experiment report to benchmarks/results/<name>.txt."""
+    """Write a named experiment report to benchmarks/results/.
 
-    def writer(name: str, text: str) -> None:
+    ``writer(name, text, data=None)`` writes ``<name>.txt`` (the
+    rendered table) and ``<name>.json`` (machine-readable: the same
+    text plus the optional ``data`` payload of JSON-able rows).
+    """
+
+    def writer(name: str, text: str, data=None) -> None:
         os.makedirs(RESULTS_DIR, exist_ok=True)
         path = os.path.join(RESULTS_DIR, f"{name}.txt")
         with open(path, "w") as handle:
             handle.write(text + "\n")
+        with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as handle:
+            json.dump(
+                {"name": name, "text": text, "data": data},
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
         print(f"\n=== {name} ===\n{text}")
 
     return writer

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regenerate EXPERIMENTS.md from the benchmark result files.
+"""Regenerate EXPERIMENTS.md (and per-entry JSON) from result files.
 
 Run after ``pytest benchmarks/ --benchmark-only``:
 
@@ -7,9 +7,14 @@ Run after ``pytest benchmarks/ --benchmark-only``:
 
 Each entry pairs the paper's claim with the measured rows from
 ``benchmarks/results/<name>.txt`` and a short commentary on how well the
-shape reproduces (including honest deviations).
+shape reproduces (including honest deviations).  Alongside the
+markdown, every entry is also (re)written as machine-readable
+``benchmarks/results/<name>.json`` — title, paper claim, assessment,
+the measured text, and any structured ``data`` rows the benchmark
+recorded — so the bench trajectory can be consumed programmatically.
 """
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -266,16 +271,24 @@ ENTRIES = [
         "Scaling — columnar FleetState vs object-per-node (extension)",
         "(Not in the paper; realizes its 'large-scale distributed "
         "systems' premise.) The collection stage should scale to "
-        "hundred-thousand-node fleets when per-node Python objects are "
-        "replaced by one structure-of-arrays fleet state, and "
-        "partitioning the fleet into contiguous node shards must not "
-        "change a single bit of the result.",
+        "million-node fleets when per-node Python objects are "
+        "replaced by one structure-of-arrays fleet state, and neither "
+        "partitioning the fleet into contiguous node shards nor "
+        "servicing those shards from worker processes may change a "
+        "single bit of the result.",
         "Confirmed: the columnar path is two orders of magnitude "
         "faster than the object-per-node loop (hundreds of times at "
         "N = 1k–10k, far above the 5x acceptance bar) and handles "
-        "N = 100k in fractions of a second where the object loop "
-        "would take minutes; the 4-way sharded run is asserted "
-        "bit-identical to single-shard at every N.",
+        "N = 1M in seconds where the object loop would take hours; "
+        "the 4-way sharded run, the persistent shared-memory worker "
+        "pool, and the legacy pickle pool are all asserted "
+        "bit-identical to single-shard at every N.  The shared-memory "
+        "pool never regresses against the pickle pool at their "
+        "largest common N (it stops serializing the trace per run); "
+        "its beat-columnar-at-1M bar only engages on multi-core "
+        "boxes — the recorded run's single CPU time-slices the "
+        "workers, so wall-clock parallel wins are not observable "
+        "there.",
     ),
     (
         "model_bank",
@@ -365,9 +378,37 @@ def main() -> None:
             f"```\n{measured}\n```\n\n"
             f"**Assessment:** {ours}\n"
         )
+        # Enrich (or create) the machine-readable twin: keep any
+        # structured `data` rows the benchmark run recorded, add the
+        # curated metadata that lives only in this script.
+        json_path = os.path.join(RESULTS_DIR, f"{stem}.json")
+        data = None
+        if os.path.exists(json_path):
+            try:
+                with open(json_path) as handle:
+                    data = json.load(handle).get("data")
+            except (OSError, ValueError):
+                data = None
+        with open(json_path, "w") as handle:
+            json.dump(
+                {
+                    "name": stem,
+                    "title": title,
+                    "paper_claim": paper,
+                    "assessment": ours,
+                    "text": measured,
+                    "data": data,
+                },
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
     with open(OUTPUT, "w") as handle:
         handle.write("\n".join(sections))
-    print(f"wrote {os.path.abspath(OUTPUT)}")
+    print(
+        f"wrote {os.path.abspath(OUTPUT)} and {len(ENTRIES)} "
+        f"results/*.json entries"
+    )
 
 
 if __name__ == "__main__":

@@ -12,9 +12,11 @@ subsumes the two historical entry points:
   per-stage wall-clock timings (what :func:`repro.core.pipeline.
   run_pipeline` did).  ``run(trace, shards=K, workers=W)`` additionally
   partitions the fleet into contiguous node shards for the collection
-  stage (optionally across a process pool) and merges them into one
-  columnar :class:`~repro.simulation.fleet.FleetState` — bit-identical
-  to the single-shard run;
+  stage (across a persistent shared-memory
+  :class:`~repro.simulation.shard_pool.ShardPool` by default, or the
+  legacy pickle-per-shard pool with ``pool="pickle"``) and merges them
+  into one columnar :class:`~repro.simulation.fleet.FleetState` —
+  bit-identical to the single-shard run;
 * **streaming** — :meth:`Engine.session` opens a long-lived, stateful
   :class:`~repro.session.StreamSession` with partial ingestion, a
   bounded late-arrival reorder window, on-demand forecasts and
@@ -81,6 +83,7 @@ from repro.simulation.fleet import (
     shard_slices,
 )
 from repro.simulation.node import LocalNode
+from repro.simulation.shard_pool import ShardPool
 from repro.simulation.transport import Channel, TransportStats
 
 
@@ -334,6 +337,7 @@ class Engine:
         source: Union[Checkpoint, str, Path],
         *,
         link: Optional[Any] = None,
+        mmap: bool = True,
     ) -> StreamSession:
         """Reconstruct a session from a checkpoint, bit-identically.
 
@@ -351,15 +355,42 @@ class Engine:
                 checkpoint was taken from a linked session (the link's
                 queues and generator resume from the checkpoint), sized
                 to the checkpoint's fleet.
+            mmap: When ``source`` is a path, map the array members
+                copy-on-write and *adopt* them as the session's live
+                columns instead of loading and copying — resuming never
+                holds two copies of the state (the default; see
+                :meth:`Checkpoint.load <repro.checkpoint.Checkpoint.
+                load>`).  Irrelevant for an already-loaded checkpoint.
 
         Raises:
             CheckpointError: On format-version mismatch (raised by
                 :meth:`Checkpoint.load <repro.checkpoint.Checkpoint.
-                load>`), configuration mismatch, or missing custom
-                factories.
+                load>`), configuration or dtype mismatch, or missing
+                custom factories.
         """
-        checkpoint = as_checkpoint(source)
-        diffs = config_mismatch(checkpoint.config, self.config.to_dict())
+        checkpoint = as_checkpoint(source, mmap=mmap)
+        # Normalize the stored config through PipelineConfig so older
+        # checkpoints (written before newer top-level knobs like
+        # ``dtype`` existed) compare against their resolved defaults
+        # instead of spurious "<missing>" diffs.
+        try:
+            checkpoint_config = PipelineConfig.from_dict(
+                checkpoint.config
+            ).to_dict()
+        except ConfigurationError as exc:
+            raise CheckpointError(
+                f"checkpoint configuration does not resolve: {exc}"
+            ) from exc
+        engine_config = self.config.to_dict()
+        if checkpoint_config.get("dtype") != engine_config.get("dtype"):
+            raise CheckpointError(
+                f"checkpoint was written with "
+                f"dtype={checkpoint_config.get('dtype')!r}, engine runs "
+                f"dtype={engine_config.get('dtype')!r}; restoring across "
+                "dtypes would silently cast the fleet state — rebuild "
+                "the engine with the checkpoint's dtype"
+            )
+        diffs = config_mismatch(checkpoint_config, engine_config)
         if diffs:
             detail = "; ".join(
                 f"{path}: checkpoint={a!r} engine={b!r}"
@@ -415,7 +446,7 @@ class Engine:
         cannot be rebuilt this way — construct the engine with the
         factories and call :meth:`resume`.
         """
-        checkpoint = as_checkpoint(source)
+        checkpoint = as_checkpoint(source, mmap=True)
         meta = checkpoint.session
         if meta["custom_policy_factory"] or meta["custom_forecaster_factory"]:
             raise CheckpointError(
@@ -526,7 +557,11 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _collect_sharded(
-        self, data: np.ndarray, shards: int, workers: Optional[int]
+        self,
+        data: np.ndarray,
+        shards: int,
+        workers: Optional[int],
+        pool: str = "shared",
     ) -> Tuple[CollectionResult, FleetState]:
         """Run the collection stage over ``shards`` contiguous node
         ranges and merge into global arrays plus a fleet snapshot.
@@ -553,24 +588,34 @@ class Engine:
                 fleet.message_counts, dim
             )
             return collected, fleet
-        tasks = [
-            (self.collection, data[:, lo:hi], self.config.transmission,
-             lo, num_nodes)
-            for lo, hi in shard_slices(num_nodes, shards)
-        ]
-        if workers is not None:
-            # Any explicit worker count uses a real process pool (a
-            # 1-worker pool still exercises pickling end to end);
-            # workers=None is the in-process path.
-            with ProcessPoolExecutor(
-                max_workers=min(workers, shards)
-            ) as pool:
-                parts = list(
-                    pool.map(_run_collection_shard, *zip(*tasks))
+        ranges = shard_slices(num_nodes, shards)
+        if workers is not None and pool == "shared":
+            # Persistent shared-memory workers: the trace and both
+            # result columns live in shared segments, so shard requests
+            # and results never cross a pickle boundary.
+            with ShardPool(min(workers, shards)) as shard_pool:
+                stored, decisions = shard_pool.collect(
+                    self.collection, data, self.config.transmission, ranges
                 )
         else:
-            parts = [_run_collection_shard(*task) for task in tasks]
-        stored, decisions = merge_collection_shards(parts)
+            tasks = [
+                (self.collection, data[:, lo:hi], self.config.transmission,
+                 lo, num_nodes)
+                for lo, hi in ranges
+            ]
+            if workers is not None:
+                # Legacy pickle-per-shard pool (pool="pickle"): each
+                # shard's trace slice and results are serialized through
+                # a ProcessPoolExecutor task.
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, shards)
+                ) as executor:
+                    parts = list(
+                        executor.map(_run_collection_shard, *zip(*tasks))
+                    )
+            else:
+                parts = [_run_collection_shard(*task) for task in tasks]
+            stored, decisions = merge_collection_shards(parts)
         fleet = FleetState.from_run(stored, decisions)
         # Transport-stats reduction over the fleet's own counter column
         # (shared array, not a copy).
@@ -587,6 +632,7 @@ class Engine:
         horizons: Optional[Sequence[int]] = None,
         shards: int = 1,
         workers: Optional[int] = None,
+        pool: str = "shared",
     ) -> RunResult:
         """Run collection + clustering + forecasting over a full trace.
 
@@ -608,13 +654,21 @@ class Engine:
                 (default ``None``: in-process, one shard after another —
                 the right choice below roughly 100k nodes, where
                 process startup dominates).  Requires ``shards > 1``.
+            pool: Which multi-process pool ``workers`` selects:
+                ``"shared"`` (default) runs persistent
+                :class:`~repro.simulation.shard_pool.ShardPool` workers
+                over shared-memory trace/result segments — shard
+                requests never pickle array data; ``"pickle"`` is the
+                legacy ``ProcessPoolExecutor`` path that serializes
+                every shard's slice and results.  Both are bit-identical
+                to the in-process run.
 
         Returns:
             The :class:`RunResult` with RMSE per horizon, transport
             stats, per-stage timings and the final fleet snapshot.
         """
         run_started = time.perf_counter()
-        data = validate_trace(trace)
+        data = validate_trace(trace, dtype=self.config.np_dtype)
         num_steps, num_nodes, num_resources = data.shape
         config = self.config
         try:
@@ -644,9 +698,13 @@ class Engine:
             raise ConfigurationError(
                 "workers only applies to sharded runs; pass shards > 1"
             )
+        if pool not in ("shared", "pickle"):
+            raise ConfigurationError(
+                f"pool must be 'shared' or 'pickle', got {pool!r}"
+            )
 
         started = time.perf_counter()
-        collected, fleet = self._collect_sharded(data, shards, workers)
+        collected, fleet = self._collect_sharded(data, shards, workers, pool)
         collection_seconds = time.perf_counter() - started
 
         pipeline = OnlinePipeline(

@@ -14,10 +14,18 @@ contracts of :class:`~repro.simulation.fleet.FleetState`,
 :meth:`~repro.forecasting.base.Forecaster.get_state` protocol).
 
 On disk a checkpoint is a single ``.npz`` archive: every numpy array in
-the state tree is stored as its own (compressed) archive member, and
-one JSON *manifest* member carries the format version, the resolved
-config and all non-array state with placeholders pointing at the array
-members.  The artifact is portable — no pickling, nothing
+the state tree is stored as its own archive member, and one JSON
+*manifest* member carries the format version, the resolved config and
+all non-array state with placeholders pointing at the array members.
+Array members are written **uncompressed** (``ZIP_STORED``) so
+:meth:`Checkpoint.load` can map them straight off disk
+(``mmap=True``): each member becomes a copy-on-write
+:class:`numpy.memmap` view of the archive, and the session restore
+path *adopts* those views in place of freshly allocated columns — a
+resume at N=1M never holds two copies of the state.  The manifest
+itself stays deflated, and archives from older builds (whose array
+members are deflated) load transparently through the in-memory path,
+member by member.  The artifact is portable — no pickling, nothing
 process-specific — and :meth:`Checkpoint.load` rejects unknown format
 versions loudly instead of misinterpreting them.
 
@@ -119,6 +127,56 @@ def _decode(value: Any, arrays: Mapping[str, np.ndarray], path: str) -> Any:
     return value
 
 
+def _mmap_member(
+    path: Path, info: zipfile.ZipInfo
+) -> "np.ndarray | None":
+    """Map one stored ``.npy`` archive member copy-on-write, or ``None``.
+
+    Only ``ZIP_STORED`` members are mappable (their bytes sit verbatim
+    in the archive).  The member's data offset is recovered from its
+    *local* file header — the central-directory ``header_offset`` plus
+    the 30-byte fixed header plus the local name/extra lengths, which
+    may differ from the central directory's.  The ``.npy`` header is
+    then parsed in place and the payload wrapped in a ``mode='c'``
+    :class:`numpy.memmap`: reads come straight off the page cache,
+    writes are private to this process, and nothing is persisted back.
+
+    Returns ``None`` whenever the member cannot be mapped (deflated
+    legacy archives, zero-size payloads, fortran order, exotic npy
+    versions) — the caller falls back to the in-memory loader.
+    """
+    if info.compress_type != zipfile.ZIP_STORED:
+        return None
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(info.header_offset)
+            local = handle.read(30)
+            if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                return None
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            handle.seek(info.header_offset + 30 + name_len + extra_len)
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                header = np.lib.format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                header = np.lib.format.read_array_header_2_0(handle)
+            else:
+                return None
+            shape, fortran, dtype = header
+            if fortran or dtype.hasobject:
+                return None
+            if int(np.prod(shape)) == 0:
+                # Zero pages to map; a plain empty array is equivalent.
+                return np.empty(shape, dtype=dtype)
+            return np.memmap(
+                path, dtype=dtype, mode="c", offset=handle.tell(),
+                shape=shape, order="C",
+            )
+    except (OSError, ValueError):
+        return None
+
+
 class Checkpoint:
     """A session's durable state: resolved config + metadata + state tree.
 
@@ -152,6 +210,24 @@ class Checkpoint:
         self.state = state
         self.version = int(version)
         self.library_version = library_version or _library_version()
+        self._adoptable = False
+
+    def claim_adoption(self) -> bool:
+        """Claim this checkpoint's arrays for zero-copy adoption — once.
+
+        Only checkpoints loaded with ``mmap=True`` are adoptable: their
+        arrays are private copy-on-write views this object owns, so the
+        first restorer may take them as live columns instead of copying.
+        The claim is one-shot — a second restore of the same object gets
+        ``False`` and must copy, preventing two sessions from silently
+        aliasing the same state.  Snapshots of live sessions are never
+        adoptable (their arrays would tie the checkpoint to the restored
+        session's mutations).
+        """
+        if not self._adoptable:
+            return False
+        self._adoptable = False
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         meta = self.session
@@ -172,6 +248,10 @@ class Checkpoint:
         temporary file and renamed over ``path``, so a crash mid-save
         (the very failure checkpoints exist to survive) can never
         destroy a previous good checkpoint at the same path.
+
+        Array members are written ``ZIP_STORED`` (uncompressed) so a
+        later :meth:`load` with ``mmap=True`` can map them off disk
+        without inflating anything; the manifest stays deflated.
 
         Returns:
             The path written.
@@ -196,15 +276,31 @@ class Checkpoint:
                 for key, array in arrays.items():
                     buffer = io.BytesIO()
                     np.save(buffer, np.asarray(array), allow_pickle=False)
-                    archive.writestr(f"{key}.npy", buffer.getvalue())
+                    archive.writestr(
+                        f"{key}.npy",
+                        buffer.getvalue(),
+                        compress_type=zipfile.ZIP_STORED,
+                    )
             os.replace(scratch, path)
         finally:
             scratch.unlink(missing_ok=True)
         return path
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "Checkpoint":
+    def load(
+        cls, path: Union[str, Path], *, mmap: bool = False
+    ) -> "Checkpoint":
         """Read a checkpoint written by :meth:`save`.
+
+        Args:
+            mmap: Map stored array members copy-on-write instead of
+                reading them into memory.  The resulting checkpoint is
+                *adoptable* (see :meth:`claim_adoption`): the first
+                session to restore it takes the mapped views as its live
+                columns, so resuming an N=1M fleet never materializes a
+                second copy of the state.  Members that cannot be mapped
+                (deflated archives from older builds) silently fall back
+                to the in-memory loader, member by member.
 
         Raises:
             CheckpointError: On a corrupt artifact, a missing manifest,
@@ -222,10 +318,16 @@ class Checkpoint:
                 manifest = json.loads(archive.read(_MANIFEST_MEMBER))
                 arrays: Dict[str, np.ndarray] = {}
                 for name in names - {_MANIFEST_MEMBER}:
-                    with archive.open(name) as member:
-                        arrays[name[: -len(".npy")]] = np.load(
-                            io.BytesIO(member.read()), allow_pickle=False
-                        )
+                    array = None
+                    if mmap:
+                        array = _mmap_member(path, archive.getinfo(name))
+                    if array is None:
+                        with archive.open(name) as member:
+                            array = np.load(
+                                io.BytesIO(member.read()),
+                                allow_pickle=False,
+                            )
+                    arrays[name[: -len(".npy")]] = array
         except zipfile.BadZipFile as exc:
             raise CheckpointError(f"{path} is not a checkpoint: {exc}") from exc
         version = manifest.get("format_version")
@@ -235,13 +337,15 @@ class Checkpoint:
                 f"build reads version {CHECKPOINT_FORMAT_VERSION} — "
                 "re-snapshot with a matching library version"
             )
-        return cls(
+        checkpoint = cls(
             config=manifest["config"],
             session=_decode(manifest["session"], arrays, "session"),
             state=_decode(manifest["state"], arrays, "state"),
             version=int(version),
             library_version=manifest.get("library_version", "unknown"),
         )
+        checkpoint._adoptable = bool(mmap)
+        return checkpoint
 
 
 def encode_state(state: Any) -> Tuple[Any, Dict[str, np.ndarray]]:
@@ -288,12 +392,19 @@ def state_equal(a: Any, b: Any) -> bool:
     return bool(a == b)
 
 
-def as_checkpoint(source: Union[Checkpoint, str, Path]) -> Checkpoint:
-    """Coerce a checkpoint-or-path into a loaded :class:`Checkpoint`."""
+def as_checkpoint(
+    source: Union[Checkpoint, str, Path], *, mmap: bool = False
+) -> Checkpoint:
+    """Coerce a checkpoint-or-path into a loaded :class:`Checkpoint`.
+
+    ``mmap`` applies only when ``source`` is a path (see
+    :meth:`Checkpoint.load`); an already-loaded checkpoint passes
+    through untouched.
+    """
     if isinstance(source, Checkpoint):
         return source
     if isinstance(source, (str, Path)):
-        return Checkpoint.load(source)
+        return Checkpoint.load(source, mmap=mmap)
     raise CheckpointError(
         f"expected a Checkpoint or a path, got {type(source).__name__}"
     )

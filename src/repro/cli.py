@@ -35,7 +35,7 @@ from typing import List, Optional
 
 from repro.api import Engine
 from repro.checkpoint import CHECKPOINT_FORMAT_VERSION, as_checkpoint
-from repro.core.config import PipelineConfig
+from repro.core.config import SUPPORTED_DTYPES, PipelineConfig
 from repro.datasets import load_alibaba_like
 from repro.exceptions import ReproError
 from repro.experiments import EXPERIMENTS
@@ -93,8 +93,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--workers", type=int, default=None, metavar="W",
-        help="run the shards in a process pool of W workers "
-             "(default: in-process)",
+        help="run the shards in a pool of W persistent shared-memory "
+             "workers (default: in-process)",
+    )
+    run_parser.add_argument(
+        "--pool", choices=("shared", "pickle"), default="shared",
+        help="which worker pool --workers selects: persistent "
+             "shared-memory shard workers (default) or the legacy "
+             "pickle-per-shard process pool",
+    )
+    run_parser.add_argument(
+        "--dtype", choices=SUPPORTED_DTYPES, default=None,
+        help="override the config's fleet dtype (float64 keeps the "
+             "bit-identity pins; float32 halves column memory for "
+             "million-node fleets)",
     )
     run_parser.add_argument(
         "--nodes", type=int, default=None,
@@ -190,6 +202,14 @@ def _command_list() -> int:
         ("scenarios", SCENARIOS),
     ):
         print(f"  {label:<22} {', '.join(registry.available())}")
+    default_dtype = PipelineConfig().dtype
+    print(
+        f"  {'fleet dtypes':<22} "
+        + ", ".join(
+            f"{name} (default)" if name == default_dtype else name
+            for name in SUPPORTED_DTYPES
+        )
+    )
     print(f"\ncheckpoint format: v{CHECKPOINT_FORMAT_VERSION}")
     from repro.lint import LINT_RULES
 
@@ -201,11 +221,21 @@ def _command_list() -> int:
     return 0
 
 
+def _with_dtype(engine: Engine, args: argparse.Namespace, **kwargs) -> Engine:
+    """Rebuild ``engine`` with ``--dtype`` applied (no-op otherwise)."""
+    if args.dtype is None or args.dtype == engine.config.dtype:
+        return engine
+    overridden = dict(engine.config.to_dict())
+    overridden["dtype"] = args.dtype
+    return Engine.from_config(overridden, **kwargs)
+
+
 def _command_run_config(args: argparse.Namespace) -> int:
     num_nodes = args.nodes if args.nodes is not None else 24
     num_steps = args.steps if args.steps is not None else 240
     try:
         engine = Engine.from_config(args.config, collection=args.collection)
+        engine = _with_dtype(engine, args, collection=args.collection)
     except OSError as exc:
         print(f"cannot read --config {args.config!r}: {exc}", file=sys.stderr)
         return 2
@@ -218,6 +248,7 @@ def _command_run_config(args: argparse.Namespace) -> int:
             dataset.resource("cpu"),
             shards=args.shards,
             workers=args.workers,
+            pool=args.pool,
         )
     except ReproError as exc:
         print(f"invalid configuration: {exc}", file=sys.stderr)
@@ -227,7 +258,8 @@ def _command_run_config(args: argparse.Namespace) -> int:
     )
     print(
         f"engine run: config={args.config} "
-        f"({num_nodes} nodes, {num_steps} steps{shard_part})"
+        f"({num_nodes} nodes, {num_steps} steps{shard_part}, "
+        f"dtype={engine.config.dtype})"
     )
     print(result.summary())
     return 0
@@ -247,7 +279,18 @@ def _command_run_stream(args: argparse.Namespace) -> int:
         return 2
     try:
         if args.resume is not None:
-            checkpoint = as_checkpoint(args.resume)
+            # mmap=True: array members are mapped copy-on-write and
+            # adopted as the session's live columns (zero-copy resume).
+            checkpoint = as_checkpoint(args.resume, mmap=True)
+            meta = checkpoint.session
+            print(
+                f"resuming {args.resume}: format "
+                f"v{checkpoint.version}, written by repro "
+                f"{checkpoint.library_version}, "
+                f"dtype={checkpoint.config.get('dtype', 'float64')}, "
+                f"N={meta.get('num_nodes')}, d={meta.get('num_resources')}, "
+                f"slot={meta.get('time')}, policy={meta.get('policy')}"
+            )
             if args.config is not None:
                 engine = Engine.from_config(args.config, policy=args.policy)
             else:
@@ -267,6 +310,7 @@ def _command_run_stream(args: argparse.Namespace) -> int:
             num_nodes = session.num_nodes
         else:
             engine = Engine.from_config(args.config, policy=args.policy)
+            engine = _with_dtype(engine, args, policy=args.policy)
             session = engine.session(num_nodes, 1)
     except OSError as exc:
         print(f"cannot read configuration: {exc}", file=sys.stderr)
@@ -404,6 +448,10 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.shards != 1 or args.workers is not None:
         print("--shards/--workers only apply to --config runs",
               file=sys.stderr)
+        return 2
+    if args.dtype is not None:
+        print("--dtype only applies to --config/--stream runs; "
+              "experiments pin their own precision", file=sys.stderr)
         return 2
     if not args.experiments:
         print("nothing to run: pass experiment ids or --config",

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, Mapping, Optional
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 from repro.registry import (
     FORECASTERS,
@@ -254,13 +256,30 @@ def _section_from_mapping(cls: type, mapping: Mapping, section: str) -> Any:
     return cls(**dict(mapping))
 
 
+#: Column dtypes a pipeline can run with.  float64 is the default and
+#: the bit-identity-pinned reference; float32 halves the fleet's memory
+#: footprint (the N=1M regime) at tolerance-level equivalence.
+SUPPORTED_DTYPES = ("float64", "float32")
+
+
 @dataclass(frozen=True)
 class PipelineConfig:
-    """Top-level configuration bundling the three stages."""
+    """Top-level configuration bundling the three stages.
+
+    Attributes:
+        dtype: Floating-point dtype of every fleet column, slot-kernel
+            working array and forecaster-bank state — ``"float64"``
+            (default, bit-identity reference) or ``"float32"`` (half the
+            memory; results pinned to float64 at tolerance, not
+            bit-identity).  Recorded in checkpoint manifests; resuming a
+            checkpoint under a different dtype raises
+            :class:`~repro.exceptions.CheckpointError`.
+    """
 
     transmission: TransmissionConfig = field(default_factory=TransmissionConfig)
     clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
     forecasting: ForecastingConfig = field(default_factory=ForecastingConfig)
+    dtype: str = "float64"
 
     #: Stage section name → config class (the to_dict/from_dict schema).
     _SECTIONS = (
@@ -269,11 +288,25 @@ class PipelineConfig:
         ("forecasting", ForecastingConfig),
     )
 
-    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+    def __post_init__(self) -> None:
+        if self.dtype not in SUPPORTED_DTYPES:
+            raise ConfigurationError(
+                f"dtype must be one of {', '.join(SUPPORTED_DTYPES)}, "
+                f"got {self.dtype!r}"
+            )
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The configured column dtype as a numpy dtype object."""
+        return np.dtype(self.dtype)
+
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form; round-trips through :meth:`from_dict`."""
-        return {
+        out: Dict[str, Any] = {
             name: asdict(getattr(self, name)) for name, _ in self._SECTIONS
         }
+        out["dtype"] = self.dtype
+        return out
 
     @classmethod
     def from_dict(cls, mapping: Mapping) -> "PipelineConfig":
@@ -287,19 +320,27 @@ class PipelineConfig:
             raise ConfigurationError(
                 f"config must be a mapping, got {type(mapping).__name__}"
             )
-        known = {name for name, _ in cls._SECTIONS}
+        known = {name for name, _ in cls._SECTIONS} | {"dtype"}
         for key in mapping:
             if key not in known:
                 raise ConfigurationError(
                     f"unknown config section {key!r}{closest(key, known)}; "
                     f"expected: {', '.join(sorted(known))}"
                 )
-        return cls(**{
-            name: _section_from_mapping(
-                section_cls, mapping.get(name, {}), name
+        dtype = mapping.get("dtype", "float64")
+        if not isinstance(dtype, str):
+            raise ConfigurationError(
+                f"dtype must be a string, got {type(dtype).__name__}"
             )
-            for name, section_cls in cls._SECTIONS
-        })
+        return cls(
+            dtype=dtype,
+            **{
+                name: _section_from_mapping(
+                    section_cls, mapping.get(name, {}), name
+                )
+                for name, section_cls in cls._SECTIONS
+            },
+        )
 
     @staticmethod
     def paper_defaults() -> "PipelineConfig":
@@ -313,6 +354,7 @@ class PipelineConfig:
         max_horizon: int = 5,
         initial_collection: int = 50,
         retrain_interval: int = 50,
+        dtype: str = "float64",
     ) -> "PipelineConfig":
         """A scaled-down configuration suitable for tests and CI benches."""
         return PipelineConfig(
@@ -324,4 +366,5 @@ class PipelineConfig:
                 retrain_interval=retrain_interval,
                 seed=0,
             ),
+            dtype=dtype,
         )

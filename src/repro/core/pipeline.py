@@ -127,6 +127,7 @@ class OnlinePipeline:
         self.num_nodes = num_nodes
         self.num_resources = num_resources
         self.config = config
+        self._dtype = config.np_dtype
         clustering = config.clustering
         if clustering.scalar_per_resource:
             self._groups: List[List[int]] = [[r] for r in range(num_resources)]
@@ -154,6 +155,7 @@ class OnlinePipeline:
                 dim=len(group),
                 group=g,
                 factory=forecaster_factory,
+                dtype=self._dtype,
             )
             for g, group in enumerate(self._groups)
         ]
@@ -221,7 +223,7 @@ class OnlinePipeline:
             The :class:`StepOutput` with clustering results and, once the
             initial collection phase has passed, multi-horizon forecasts.
         """
-        z = np.asarray(stored, dtype=float)
+        z = np.asarray(stored, dtype=self._dtype)
         if z.ndim == 1:
             z = z[:, np.newaxis]
         if z.shape != (self.num_nodes, self.num_resources):
@@ -312,12 +314,20 @@ class OnlinePipeline:
             "banks": [b.get_state() for b in self._banks],
         }
 
-    def set_state(self, state: Dict[str, object]) -> None:
+    def set_state(
+        self, state: Dict[str, object], *, adopt: bool = False
+    ) -> None:
         """Restore a state captured by :meth:`get_state`.
 
         The pipeline must have been constructed with the same
         configuration and dimensions (group structure and bank types are
         set at construction; the state carries only their contents).
+
+        Args:
+            adopt: Adopt the node-aligned history windows (the state's
+                dominant arrays) as ring buffers without copying — the
+                zero-copy checkpoint-resume path.  Cluster-level state
+                (trackers, banks) is small and always copied.
         """
         groups = len(self._groups)
         for key in ("label_history", "trackers", "banks"):
@@ -333,11 +343,11 @@ class OnlinePipeline:
             stage: float(seconds)
             for stage, seconds in state["stage_seconds"].items()
         }
-        self._stored_history.set_state(state["stored_history"])
+        self._stored_history.set_state(state["stored_history"], adopt=adopt)
         for ring, ring_state in zip(
             self._label_history, state["label_history"]
         ):
-            ring.set_state(ring_state)
+            ring.set_state(ring_state, adopt=adopt)
         for tracker, tracker_state in zip(self._trackers, state["trackers"]):
             tracker.set_state(tracker_state)
         for bank, bank_state in zip(self._banks, state["banks"]):
@@ -367,11 +377,14 @@ class OnlinePipeline:
         lookback = forecasting.membership_lookback
 
         node_forecasts = {
-            h: np.zeros((self.num_nodes, self.num_resources))
+            h: np.zeros((self.num_nodes, self.num_resources), dtype=self._dtype)
             for h in range(1, horizon + 1)
         }
         centroid_forecasts = {
-            h: np.zeros((clustering.num_clusters, self.num_resources))
+            h: np.zeros(
+                (clustering.num_clusters, self.num_resources),
+                dtype=self._dtype,
+            )
             for h in range(1, horizon + 1)
         }
         memberships_all = np.zeros((self.num_groups, self.num_nodes), dtype=int)

@@ -136,8 +136,17 @@ class SlotRing:
             "window": self.ordered() if self._length else None,
         }
 
-    def set_state(self, state: dict) -> None:
-        """Restore a window captured by :meth:`get_state`."""
+    def set_state(self, state: dict, *, adopt: bool = False) -> None:
+        """Restore a window captured by :meth:`get_state`.
+
+        Args:
+            adopt: Adopt a *full* window array as the ring's buffer
+                without copying (the zero-copy checkpoint-resume path —
+                the window rows become the recycled storage, cursor at
+                the oldest row).  Partial windows still copy: the buffer
+                must be ``maxlen`` rows.  Default False: rows are
+                re-appended (copied) and the state stays independent.
+        """
         if int(state["maxlen"]) != self.maxlen:
             raise DataError(
                 f"ring maxlen {self.maxlen} cannot load a window of "
@@ -146,10 +155,19 @@ class SlotRing:
         self._buffer = None
         self.clear()
         window = state["window"]
-        if window is not None:
-            # repro: noqa DT-001(keeps the checkpoint array's dtype)
-            for row in np.asarray(window):
-                self.append(row)
+        if window is None:
+            return
+        # repro: noqa DT-001(keeps the checkpoint array's dtype)
+        window = np.asarray(window)
+        if adopt and window.shape[0] == self.maxlen:
+            # ordered() returned oldest→newest, so cursor 0 with a full
+            # length reproduces the same logical order over this buffer.
+            self._buffer = window
+            self._length = self.maxlen
+            self._cursor = 0
+            return
+        for row in window:
+            self.append(row)
 
 
 __all__ = ["SlotRing"]

@@ -160,20 +160,31 @@ class TransmissionRecord:
         return self.count / len(self.decisions)
 
 
-def validate_trace(trace: np.ndarray) -> np.ndarray:
+def validate_trace(
+    trace: np.ndarray, dtype: "np.typing.DTypeLike" = None
+) -> np.ndarray:
     """Validate and normalize a trace array to shape ``(T, N, d)``.
 
     Args:
         trace: Array of measurements.  Accepted shapes are ``(T, N)``
             (single resource, promoted to ``d=1``) and ``(T, N, d)``.
+        dtype: Floating dtype of the returned array.  ``None`` (the
+            default) keeps a float32/float64 trace in its own dtype —
+            so a float32 pipeline's data survives the re-validation
+            inside every collection backend — and casts everything else
+            (ints, lists) to float64.  A trace already in the requested
+            dtype is returned without copying.
 
     Returns:
-        The validated ``float`` array with shape ``(T, N, d)``.
+        The validated floating array with shape ``(T, N, d)``.
 
     Raises:
         DataError: If the shape is unsupported or the data contains NaNs.
     """
-    arr = np.asarray(trace, dtype=float)
+    arr = np.asarray(trace)
+    if dtype is None:
+        dtype = arr.dtype if arr.dtype in (np.float32, np.float64) else np.float64
+    arr = np.asarray(arr, dtype=dtype)
     if arr.ndim == 2:
         arr = arr[:, :, np.newaxis]
     if arr.ndim != 3:

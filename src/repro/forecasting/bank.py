@@ -121,6 +121,13 @@ class ForecasterBank(abc.ABC):
     Args:
         num_clusters: Number of clusters M (= series per dimension).
         dim: Dimensionality d of this group's centroids.
+
+    Attributes:
+        dtype: Floating dtype of the bank's series state (default
+            float64).  Set by :func:`resolve_bank` from the pipeline's
+            configured column dtype; every ``fit``/``update`` input and
+            restored state array is cast to it, so a float32 pipeline's
+            model layer stays float32 end to end.
     """
 
     def __init__(self, num_clusters: int, dim: int) -> None:
@@ -131,6 +138,7 @@ class ForecasterBank(abc.ABC):
             )
         self.num_clusters = num_clusters
         self.dim = dim
+        self.dtype = np.dtype(np.float64)
         self._fitted = False
 
     @property
@@ -148,7 +156,7 @@ class ForecasterBank(abc.ABC):
         Args:
             series: Centroid tensor, shape ``(T, M, d)``.
         """
-        tensor = np.asarray(series, dtype=float)
+        tensor = np.asarray(series, dtype=self.dtype)
         if tensor.ndim != 3 or tensor.shape[1:] != (
             self.num_clusters,
             self.dim,
@@ -171,7 +179,7 @@ class ForecasterBank(abc.ABC):
         Args:
             values: Centroids of this slot, shape ``(M, d)``.
         """
-        matrix = np.asarray(values, dtype=float)
+        matrix = np.asarray(values, dtype=self.dtype)
         if matrix.shape != (self.num_clusters, self.dim):
             raise DataError(
                 f"values must be ({self.num_clusters}, {self.dim}), "
@@ -197,7 +205,9 @@ class ForecasterBank(abc.ABC):
             )
         if horizon < 1:
             raise DataError(f"horizon must be >= 1, got {horizon}")
-        flat = self._forecast(horizon)
+        # The shared closed-form kernels compute in float64; cast back
+        # to the bank's configured dtype (an exact no-op for float64).
+        flat = np.asarray(self._forecast(horizon), dtype=self.dtype)
         return flat.reshape(horizon, self.num_clusters, self.dim)
 
     @abc.abstractmethod
@@ -258,7 +268,9 @@ class SampleHoldBank(ForecasterBank):
 
     def _load_state(self, state: Dict[str, object]) -> None:
         last = state["last"]
-        self._last = None if last is None else np.asarray(last, dtype=float)
+        self._last = (
+            None if last is None else np.asarray(last, dtype=self.dtype)
+        )
 
 
 class MeanBank(ForecasterBank):
@@ -277,7 +289,7 @@ class MeanBank(ForecasterBank):
 
     def _update(self, values: np.ndarray) -> None:
         self._rows.append(values.copy())
-        self._mean = running_mean(np.asarray(self._rows, dtype=float))
+        self._mean = running_mean(np.asarray(self._rows, dtype=self.dtype))
 
     def _forecast(self, horizon: int) -> np.ndarray:
         return hold_forecast(self._mean, horizon)
@@ -292,10 +304,12 @@ class MeanBank(ForecasterBank):
         rows = state["rows"]
         self._rows = (
             [] if rows is None
-            else [row.copy() for row in np.asarray(rows, dtype=float)]
+            else [row.copy() for row in np.asarray(rows, dtype=self.dtype)]
         )
         mean = state["mean"]
-        self._mean = None if mean is None else np.asarray(mean, dtype=float)
+        self._mean = (
+            None if mean is None else np.asarray(mean, dtype=self.dtype)
+        )
 
 
 class ExponentialBank(ForecasterBank):
@@ -336,7 +350,7 @@ class ExponentialBank(ForecasterBank):
         if self._fixed_alpha is None and matrix.shape[0] >= 3:
             self._alpha = np.asarray(
                 [fit_ses_alpha(matrix[:, s]) for s in range(matrix.shape[1])],
-                dtype=float,
+                dtype=self.dtype,
             )
         self._level = ewma_run(matrix, self._alpha)
 
@@ -362,10 +376,12 @@ class ExponentialBank(ForecasterBank):
         alpha = state["alpha"]
         self._alpha = (
             float(alpha) if np.ndim(alpha) == 0
-            else np.asarray(alpha, dtype=float)
+            else np.asarray(alpha, dtype=self.dtype)
         )
         level = state["level"]
-        self._level = None if level is None else np.asarray(level, dtype=float)
+        self._level = (
+            None if level is None else np.asarray(level, dtype=self.dtype)
+        )
 
 
 class YuleWalkerBank(ForecasterBank):
@@ -388,7 +404,7 @@ class YuleWalkerBank(ForecasterBank):
     def coefficients(self) -> np.ndarray:
         """AR coefficients per series, shape ``(order, S)``."""
         if self._coefficients is None:
-            return np.zeros((self.order, self.num_series), dtype=float)
+            return np.zeros((self.order, self.num_series), dtype=self.dtype)
         return self._coefficients.copy()
 
     def _fit(self, matrix: np.ndarray) -> None:
@@ -408,7 +424,7 @@ class YuleWalkerBank(ForecasterBank):
         return ar_forecast_batch(
             self._coefficients,
             self._mean,
-            np.asarray(self._window[-self.order :], dtype=float),
+            np.asarray(self._window[-self.order :], dtype=self.dtype),
             horizon,
         )
 
@@ -423,14 +439,16 @@ class YuleWalkerBank(ForecasterBank):
         coefficients = state["coefficients"]
         self._coefficients = (
             None if coefficients is None
-            else np.asarray(coefficients, dtype=float)
+            else np.asarray(coefficients, dtype=self.dtype)
         )
         mean = state["mean"]
-        self._mean = None if mean is None else np.asarray(mean, dtype=float)
+        self._mean = (
+            None if mean is None else np.asarray(mean, dtype=self.dtype)
+        )
         window = state["window"]
         self._window = (
             [] if window is None
-            else [row.copy() for row in np.asarray(window, dtype=float)]
+            else [row.copy() for row in np.asarray(window, dtype=self.dtype)]
         )
 
 
@@ -586,6 +604,7 @@ def resolve_bank(
     dim: int,
     group: int = 0,
     factory: Optional[ForecasterFactory] = None,
+    dtype: "np.typing.DTypeLike" = np.float64,
 ) -> ForecasterBank:
     """Build the forecaster bank of one resource group.
 
@@ -601,6 +620,8 @@ def resolve_bank(
             config that *requires* the vectorized path
             (``config.bank == config.model``) is a contradiction and
             raises instead of silently falling back.
+        dtype: Floating dtype of the bank's series state (the
+            pipeline's configured column dtype; default float64).
     """
     if factory is not None:
         if getattr(config, "bank", "auto") not in ("auto", "object"):
@@ -609,16 +630,22 @@ def resolve_bank(
                 "which a custom forecaster_factory cannot provide; "
                 "drop the factory or use bank='auto'/'object'"
             )
-        return ObjectBank(factory, num_clusters, dim, group=group)
-    name = resolved_bank_name(config)
-    if name == "object":
-        return ObjectBank(
-            default_forecaster_factory(config),
-            num_clusters,
-            dim,
-            group=group,
+        bank: ForecasterBank = ObjectBank(
+            factory, num_clusters, dim, group=group
         )
-    return FORECASTER_BANKS.create(name, config, num_clusters, dim)
+    else:
+        name = resolved_bank_name(config)
+        if name == "object":
+            bank = ObjectBank(
+                default_forecaster_factory(config),
+                num_clusters,
+                dim,
+                group=group,
+            )
+        else:
+            bank = FORECASTER_BANKS.create(name, config, num_clusters, dim)
+    bank.dtype = np.dtype(dtype)
+    return bank
 
 
 __all__ = [

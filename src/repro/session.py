@@ -207,7 +207,9 @@ class StreamSession:
         # Live state: one columnar fleet, the channel's counters backed
         # by its message_counts column, the store and pipeline as views
         # over the same memory.
-        self.fleet = FleetState(self.num_nodes, self.num_resources)
+        self.fleet = FleetState(
+            self.num_nodes, self.num_resources, dtype=config.np_dtype
+        )
         self.channel = Channel(node_counts=self.fleet.message_counts)
         self.store = CentralStore(fleet=self.fleet)
         self.pipeline = OnlinePipeline(
@@ -297,7 +299,7 @@ class StreamSession:
             None for late arrivals, which close no slot.
         """
         started = _time.perf_counter()
-        x = np.asarray(values, dtype=float)
+        x = np.asarray(values, dtype=self.fleet.dtype)
         if x.ndim == 1:
             x = x[:, np.newaxis]
         if x.ndim != 2 or x.shape[1] != self.num_resources:
@@ -709,9 +711,21 @@ class StreamSession:
                 f"{self.num_nodes}x{self.num_resources}"
             )
         state = checkpoint.state
-        self.fleet.set_state(state["fleet"])
+        adopt = checkpoint.claim_adoption()
+        if adopt:
+            # Zero-copy resume: the fleet's columns and the pipeline's
+            # history windows become the checkpoint's own arrays
+            # (copy-on-write views of the archive for mmap loads), so
+            # restoring an N=1M session never holds two copies of the
+            # state.  The channel's counter column is re-pointed at the
+            # adopted array before set_state re-validates the totals
+            # against it.
+            self.fleet.adopt_state(state["fleet"])
+            self.channel.stats.rebind_column(self.fleet.message_counts)
+        else:
+            self.fleet.set_state(state["fleet"])
         self.channel.stats.set_state(state["transport"])
-        self.pipeline.set_state(state["pipeline"])
+        self.pipeline.set_state(state["pipeline"], adopt=adopt)
         policy_states = state["policies"]
         if not self.vectorized:
             if policy_states is None:

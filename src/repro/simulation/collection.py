@@ -234,8 +234,10 @@ def _adaptive_recurrence(
     num_steps, num_nodes, dim = data.shape
     stored = np.empty_like(data)
     decisions = np.zeros((num_steps, num_nodes), dtype=int)
-    queue_samples = np.empty((num_steps, num_nodes))
-    queues = np.zeros(num_nodes)
+    # Policy accumulators run in the trace's dtype so a float32 pipeline
+    # never silently upcasts its hot-loop state.
+    queue_samples = np.empty((num_steps, num_nodes), dtype=data.dtype)
+    queues = np.zeros(num_nodes, dtype=data.dtype)
     observed = np.zeros(num_nodes, dtype=bool)
     stored_now = np.zeros_like(data[0])
 
@@ -264,7 +266,7 @@ def _uniform_recurrence(
         accumulator state.
     """
     num_steps, num_nodes, _ = data.shape
-    accumulator = np.asarray(phases, dtype=float).copy()
+    accumulator = np.asarray(phases, dtype=data.dtype).copy()
     observed = np.zeros(num_nodes, dtype=bool)
     stored_now = np.zeros_like(data[0])
     stored = np.empty_like(data)
@@ -291,9 +293,9 @@ def simulate_adaptive_collection(
     data, _, num_nodes, _ = _prepare(trace)
     stored, decisions, _, _ = _adaptive_recurrence(
         data,
-        np.full(num_nodes, config.budget),
-        np.full(num_nodes, config.v0),
-        np.full(num_nodes, config.gamma),
+        np.full(num_nodes, config.budget, dtype=data.dtype),
+        np.full(num_nodes, config.v0, dtype=data.dtype),
+        np.full(num_nodes, config.gamma, dtype=data.dtype),
     )
     return CollectionResult(stored=stored, decisions=decisions)
 
@@ -342,7 +344,7 @@ def simulate_uniform_collection(
     else:
         phases = np.zeros(num_nodes)
     stored, decisions, _ = _uniform_recurrence(
-        data, np.full(num_nodes, budget), phases
+        data, np.full(num_nodes, budget, dtype=data.dtype), phases
     )
     return CollectionResult(stored=stored, decisions=decisions)
 

@@ -60,19 +60,33 @@ class FleetState:
         num_nodes: Fleet size ``N``.
         dim: Resource dimensionality ``d``; omit to infer it from the
             first stored value.
+        dtype: Floating-point dtype of the ``stored`` and
+            ``policy_state`` columns (default float64).  float32 halves
+            the fleet's resident footprint — the difference between
+            fitting N=1M on one box or not.
     """
 
-    def __init__(self, num_nodes: int, dim: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        num_nodes: int,
+        dim: Optional[int] = None,
+        dtype: "np.typing.DTypeLike" = np.float64,
+    ) -> None:
         if num_nodes < 1:
             raise SimulationError(f"num_nodes must be >= 1, got {num_nodes}")
         self.num_nodes = int(num_nodes)
+        self.dtype = np.dtype(dtype)
+        if self.dtype.kind != "f":
+            raise SimulationError(
+                f"fleet dtype must be floating point, got {self.dtype}"
+            )
         self._dim: Optional[int] = None
         self.stored: Optional[np.ndarray] = None
         self.observed = np.zeros(self.num_nodes, dtype=bool)
         self.times = np.zeros(self.num_nodes, dtype=np.int64)
         self.last_update = np.full(self.num_nodes, -1, dtype=np.int64)
         self.message_counts = np.zeros(self.num_nodes, dtype=np.int64)
-        self.policy_state = np.zeros(self.num_nodes, dtype=float)
+        self.policy_state = np.zeros(self.num_nodes, dtype=self.dtype)
         if dim is not None:
             self.ensure_dim(dim)
 
@@ -93,7 +107,7 @@ class FleetState:
             if dim < 1:
                 raise SimulationError(f"dimension must be >= 1, got {dim}")
             self._dim = dim
-            self.stored = np.zeros((self.num_nodes, dim), dtype=float)
+            self.stored = np.zeros((self.num_nodes, dim), dtype=self.dtype)
         elif self._dim != dim:
             raise SimulationError(
                 f"fleet dimensionality is fixed at d={self._dim}, "
@@ -129,7 +143,7 @@ class FleetState:
                 f"decisions cover {num_nodes} nodes, fleet has "
                 f"{self.num_nodes}"
             )
-        final = np.asarray(final_stored, dtype=float)
+        final = np.asarray(final_stored, dtype=self.dtype)
         if final.ndim == 1:
             final = final[:, np.newaxis]
         stored = self.ensure_dim(final.shape[1])
@@ -189,11 +203,11 @@ class FleetState:
             [self.message_counts, np.zeros(count, dtype=np.int64)]
         )
         self.policy_state = np.concatenate(
-            [self.policy_state, np.zeros(count, dtype=float)]
+            [self.policy_state, np.zeros(count, dtype=self.dtype)]
         )
         if self.stored is not None:
             self.stored = np.concatenate(
-                [self.stored, np.zeros((count, self._dim), dtype=float)]
+                [self.stored, np.zeros((count, self._dim), dtype=self.dtype)]
             )
         return np.arange(old, self.num_nodes, dtype=np.int64)
 
@@ -254,6 +268,7 @@ class FleetState:
         return {
             "num_nodes": self.num_nodes,
             "dim": self._dim,
+            "dtype": self.dtype.name,
             "stored": None if self.stored is None else self.stored.copy(),
             "observed": self.observed.copy(),
             "times": self.times.copy(),
@@ -274,6 +289,12 @@ class FleetState:
                 f"state holds {state['num_nodes']} nodes, fleet has "
                 f"{self.num_nodes}"
             )
+        state_dtype = state.get("dtype")
+        if state_dtype is not None and np.dtype(state_dtype) != self.dtype:
+            raise SimulationError(
+                f"state columns are {state_dtype}, fleet is {self.dtype} "
+                "(restoring across dtypes would silently cast)"
+            )
         if state["dim"] is not None:
             self.ensure_dim(int(state["dim"]))
             self.stored[...] = state["stored"]
@@ -287,6 +308,58 @@ class FleetState:
         self.last_update[...] = state["last_update"]
         self.message_counts[...] = state["message_counts"]
         self.policy_state[...] = state["policy_state"]
+
+    def adopt_state(self, state: dict) -> None:
+        """Rebind the columns to ``state``'s arrays, *without copying*.
+
+        The zero-copy counterpart of :meth:`set_state` for resuming from
+        an mmap-backed checkpoint: the fleet's columns become the
+        state's arrays themselves (copy-on-write views of the archive
+        for mmap loads), so a resume at N=1M never materializes a
+        second set of columns.  Unlike :meth:`set_state`, every holder
+        of the *old* column references is stale afterwards — callers
+        (the session's restore path) must re-adopt the channel's counter
+        column and any node views.
+        """
+        if int(state["num_nodes"]) != self.num_nodes:
+            raise SimulationError(
+                f"state holds {state['num_nodes']} nodes, fleet has "
+                f"{self.num_nodes}"
+            )
+        state_dtype = state.get("dtype")
+        if state_dtype is not None and np.dtype(state_dtype) != self.dtype:
+            raise SimulationError(
+                f"state columns are {state_dtype}, fleet is {self.dtype} "
+                "(adopting across dtypes would silently cast)"
+            )
+        if state["dim"] is not None:
+            dim = int(state["dim"])
+            if self._dim is not None and self._dim != dim:
+                raise SimulationError(
+                    f"fleet dimensionality is fixed at d={self._dim}, "
+                    f"state has d={dim}"
+                )
+            stored = state["stored"]
+            if stored.dtype != self.dtype:
+                raise SimulationError(
+                    f"stored column is {stored.dtype}, fleet is {self.dtype}"
+                )
+            self._dim = dim
+            self.stored = stored
+        elif self._dim is not None:
+            raise SimulationError(
+                f"state is undimensioned but the fleet is fixed at "
+                f"d={self._dim}"
+            )
+        self.observed = np.asarray(state["observed"], dtype=bool)
+        self.times = np.asarray(state["times"], dtype=np.int64)
+        self.last_update = np.asarray(state["last_update"], dtype=np.int64)
+        self.message_counts = np.asarray(
+            state["message_counts"], dtype=np.int64
+        )
+        self.policy_state = np.asarray(
+            state["policy_state"], dtype=self.dtype
+        )
 
     # ------------------------------------------------------------------
     # Views and assembly
@@ -320,7 +393,8 @@ class FleetState:
             decisions: ``(T, N)`` transmission decisions.
         """
         num_steps, num_nodes, dim = stored.shape
-        fleet = cls(num_nodes, dim)
+        dtype = stored.dtype if stored.dtype.kind == "f" else np.float64
+        fleet = cls(num_nodes, dim, dtype=dtype)
         fleet.advance_batch(decisions, stored[-1])
         fleet.message_counts = decisions.sum(axis=0).astype(np.int64)
         fleet.policy_state.fill(np.nan)

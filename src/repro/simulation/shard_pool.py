@@ -1,0 +1,377 @@
+"""Persistent shard workers over POSIX shared memory.
+
+The historical multi-process collection path
+(``Engine.run(..., workers=W)`` before this module) pickled every
+shard's trace slice into a fresh ``ProcessPoolExecutor`` task and
+pickled the results back — at N=1M that serializes gigabytes per run.
+:class:`ShardPool` replaces that with *persistent* worker processes and
+``multiprocessing.shared_memory``:
+
+* the trace and both result columns (``stored``, ``decisions``) live in
+  named shared-memory segments, written once and mapped zero-copy by
+  every worker;
+* workers are spawned once per pool and service any number of shard
+  requests over a lightweight command pipe — a request names a
+  contiguous node range ``[lo, hi)``, never carries array data;
+* each worker writes its shard's results directly into the shared
+  output columns, so the parent's merge is a single ``np.array`` copy
+  out of the segment (no concatenation, no pickling).
+
+The arithmetic is exactly the in-process sharded path's: every backend
+runs on a contiguous node slice of the same trace with the same
+shard-aware kwargs, so pooled results are bit-identical to
+``shards=1`` for every registered backend and both dtypes.
+"""
+
+from __future__ import annotations
+
+import inspect
+import multiprocessing as mp
+from multiprocessing import shared_memory
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import TransmissionConfig
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.registry import COLLECTION_BACKENDS
+
+
+def shard_aware_kwargs(
+    backend: Any, node_offset: int, total_nodes: int
+) -> dict:
+    """Offset/fleet-size kwargs for backends that opt into them.
+
+    Backends whose decisions depend on fleet-global state (the uniform
+    backend draws stagger phases for the whole fleet) declare
+    ``node_offset``/``total_nodes`` keyword parameters; purely per-node
+    backends need nothing and get nothing.
+    """
+    try:
+        params = inspect.signature(backend).parameters
+    except (TypeError, ValueError):  # builtins / odd callables
+        return {}
+    if "node_offset" in params and "total_nodes" in params:
+        return {"node_offset": node_offset, "total_nodes": total_nodes}
+    return {}
+
+
+def _attach(name: str, unregister: bool) -> shared_memory.SharedMemory:
+    """Attach an existing segment without tracker double-accounting.
+
+    Before Python 3.13 an *attach* (``create=False``) still registers
+    the segment with the process's resource tracker.  Under ``spawn``
+    the worker runs its *own* tracker, which would unlink the parent's
+    segment when the worker exits — so the registration is dropped
+    right after attaching.  Under ``fork`` parent and worker share one
+    tracker; registering into a set is idempotent there and
+    unregistering would strip the parent's own entry, so the
+    registration is left alone.
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    if unregister:
+        try:  # pragma: no cover - depends on the Python version
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+    return segment
+
+
+def _as_view(
+    segment: shared_memory.SharedMemory,
+    shape: Tuple[int, ...],
+    dtype: str,
+) -> np.ndarray:
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+
+
+def _worker_main(conn, own_tracker: bool) -> None:
+    """Worker loop: attach → collect ranges → detach, until ``stop``.
+
+    Commands arrive as ``(verb, payload)`` tuples; every command gets
+    exactly one ``("ok", result)`` or ``("error", message)`` reply, so
+    the parent can strictly pair requests with responses.
+    """
+    segments: List[shared_memory.SharedMemory] = []
+    trace = stored = decisions = None
+    backend = None
+    backend_kwargs: dict = {}
+    transmission: Optional[TransmissionConfig] = None
+    while True:
+        try:
+            verb, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            if verb == "attach":
+                segments = [
+                    _attach(payload["trace"][0], own_tracker),
+                    _attach(payload["stored"][0], own_tracker),
+                    _attach(payload["decisions"][0], own_tracker),
+                ]
+                trace = _as_view(segments[0], *payload["trace"][1:])
+                stored = _as_view(segments[1], *payload["stored"][1:])
+                decisions = _as_view(segments[2], *payload["decisions"][1:])
+                backend = COLLECTION_BACKENDS.get(payload["backend"])
+                transmission = payload["transmission"]
+                backend_kwargs = {"total_nodes": payload["total_nodes"]}
+                conn.send(("ok", None))
+            elif verb == "collect":
+                if trace is None:
+                    raise SimulationError("collect before attach")
+                done = 0
+                for lo, hi in payload:
+                    kwargs = shard_aware_kwargs(
+                        backend, lo, backend_kwargs["total_nodes"]
+                    )
+                    result = backend(trace[:, lo:hi], transmission, **kwargs)
+                    stored[:, lo:hi] = result.stored
+                    decisions[:, lo:hi] = result.decisions
+                    done += 1
+                conn.send(("ok", done))
+            elif verb == "detach":
+                for segment in segments:
+                    segment.close()
+                segments = []
+                trace = stored = decisions = None
+                conn.send(("ok", None))
+            elif verb == "stop":
+                for segment in segments:
+                    segment.close()
+                conn.send(("ok", None))
+                break
+            else:
+                raise SimulationError(f"unknown pool command {verb!r}")
+        except Exception as exc:  # reply, don't die: the pool outlives it
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+
+
+class ShardPool:
+    """Persistent collection workers sharing trace/result memory.
+
+    A pool spawns its workers once and reuses them across any number of
+    :meth:`collect` calls; per call, the trace is published to shared
+    memory once and each worker services its queue of node-range
+    requests zero-copy.  Use as a context manager, or call
+    :meth:`close` explicitly::
+
+        with ShardPool(workers=4) as pool:
+            stored, decisions = pool.collect(
+                "adaptive", data, config.transmission, shards=16
+            )
+
+    Args:
+        workers: Number of persistent worker processes, >= 1.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        method = (
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        context = mp.get_context(method)
+        if method == "fork":
+            # Start the resource tracker *before* forking so workers
+            # inherit it: their attach-side registrations then land in
+            # the parent's tracker (idempotent set adds) instead of
+            # spawning one private tracker per worker that warns about
+            # "leaked" segments it never owned.
+            try:  # pragma: no cover - private but stable since 3.8
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except Exception:
+                pass
+        self._conns = []
+        self._procs = []
+        for _ in range(self.workers):
+            parent_conn, child_conn = context.Pipe()
+            proc = context.Process(
+                target=_worker_main,
+                # Spawned workers run their own resource tracker and
+                # must drop attach-side registrations (see _attach).
+                args=(child_conn, method == "spawn"),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop every worker and release the pool (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop", None))
+                conn.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5)
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- command plumbing ----------------------------------------------
+
+    def _broadcast(
+        self, verb: str, payload: Any, *, strict: bool = True
+    ) -> None:
+        errors = []
+        for conn in self._conns:
+            try:
+                conn.send((verb, payload))
+            except (OSError, BrokenPipeError) as exc:
+                errors.append(repr(exc))
+        for conn in self._conns:
+            try:
+                status, result = conn.recv()
+            except (EOFError, OSError) as exc:
+                status, result = "error", repr(exc)
+            if status != "ok":
+                errors.append(str(result))
+        if errors and strict:
+            raise SimulationError(
+                f"shard worker failed {verb}: {errors[0]}"
+            )
+
+    # -- the one real operation ----------------------------------------
+
+    def collect(
+        self,
+        backend_name: str,
+        data: np.ndarray,
+        transmission: TransmissionConfig,
+        ranges: Sequence[Tuple[int, int]],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run the collection backend over node ranges, in the pool.
+
+        Args:
+            backend_name: Registered collection backend name.
+            data: Validated trace, shape ``(T, N, d)`` (any float
+                dtype; workers compute in the trace's dtype).
+            transmission: Transmission config for the backend.
+            ranges: Contiguous node ranges ``[lo, hi)`` covering the
+                fleet (from :func:`~repro.simulation.fleet.
+                shard_slices`); range ``k`` goes to worker
+                ``k % workers``, so each worker services its queue of
+                requests over the same attached segments.
+
+        Returns:
+            ``(stored, decisions)`` for the whole fleet — bit-identical
+            to the in-process sharded run.
+        """
+        if self._closed:
+            raise SimulationError("ShardPool is closed")
+        # Fail fast in the parent (with suggestions) before any worker
+        # sees the name.
+        COLLECTION_BACKENDS.get(backend_name)
+        data = np.ascontiguousarray(data)
+        if data.ndim != 3:
+            raise SimulationError(
+                f"pool trace must be (T, N, d), got {data.shape}"
+            )
+        num_steps, num_nodes, dim = data.shape
+        decisions_dtype = np.dtype(bool)
+        segments = []
+        try:
+            # repro: noqa KER-003(three fixed segments, not a node loop)
+            for nbytes in (
+                data.nbytes,
+                data.nbytes,
+                num_steps * num_nodes * decisions_dtype.itemsize,
+            ):
+                segments.append(
+                    shared_memory.SharedMemory(
+                        create=True, size=max(1, nbytes)
+                    )
+                )
+            trace_seg, stored_seg, decisions_seg = segments
+            _as_view(trace_seg, data.shape, data.dtype.name)[:] = data
+            self._broadcast(
+                "attach",
+                {
+                    "trace": (trace_seg.name, data.shape, data.dtype.name),
+                    "stored": (stored_seg.name, data.shape, data.dtype.name),
+                    "decisions": (
+                        decisions_seg.name,
+                        (num_steps, num_nodes),
+                        decisions_dtype.name,
+                    ),
+                    "backend": backend_name,
+                    "transmission": transmission,
+                    "total_nodes": num_nodes,
+                },
+            )
+            try:
+                queues: List[List[Tuple[int, int]]] = [
+                    [] for _ in range(self.workers)
+                ]
+                for k, (lo, hi) in enumerate(ranges):
+                    queues[k % self.workers].append((int(lo), int(hi)))
+                active = [
+                    (conn, queue)
+                    for conn, queue in zip(self._conns, queues)
+                    if queue
+                ]
+                for conn, queue in active:
+                    conn.send(("collect", queue))
+                errors = []
+                for conn, _ in active:
+                    try:
+                        status, result = conn.recv()
+                    except (EOFError, OSError) as exc:
+                        status, result = "error", repr(exc)
+                    if status != "ok":
+                        errors.append(str(result))
+                if errors:
+                    raise SimulationError(
+                        f"shard worker failed collect: {errors[0]}"
+                    )
+                stored = np.array(
+                    _as_view(stored_seg, data.shape, data.dtype.name)
+                )
+                decisions = np.array(
+                    _as_view(
+                        decisions_seg,
+                        (num_steps, num_nodes),
+                        decisions_dtype.name,
+                    )
+                )
+            finally:
+                # Never mask a collect error with a detach failure.
+                self._broadcast("detach", None, strict=False)
+            return stored, decisions
+        finally:
+            for segment in segments:
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+
+
+__all__ = ["ShardPool", "shard_aware_kwargs"]

@@ -234,6 +234,32 @@ class TransportStats:
         self._retired += live_total - new_total
         self._node_counts = node_counts
 
+    def rebind_column(self, node_counts: np.ndarray) -> None:
+        """Point fixed stats at a *restored* counter column.
+
+        Unlike :meth:`adopt_column` (churn: cumulative totals preserved,
+        counts can only leave the column), this accompanies a whole-state
+        restore that replaced the fleet's columns wholesale — the
+        zero-copy checkpoint-adoption path, where the column is the
+        checkpoint's own array.  Only the binding changes here; callers
+        must follow up with :meth:`set_state`, which re-validates the
+        totals against the new column, so a rebind without a consistent
+        restore still fails loudly.
+
+        Args:
+            node_counts: The fleet's adopted int64 ``message_counts``
+                column.
+        """
+        if not self._fixed:
+            raise SimulationError(
+                "rebind_column applies to fleet-backed (fixed) stats only"
+            )
+        if node_counts.dtype != np.int64:
+            raise SimulationError(
+                f"node_counts must be int64, got {node_counts.dtype}"
+            )
+        self._node_counts = node_counts
+
     # -- checkpoint state contract --------------------------------------
 
     def get_state(self) -> dict:

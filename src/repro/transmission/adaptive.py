@@ -68,10 +68,19 @@ def adaptive_transmit_slot(
         Bool ``(n,)`` transmission decisions ``β_{i,t}``.
     """
     dim = x.shape[1]
-    v_t = v0s * (times + 1.0) ** gammas
+    # Run the whole recurrence in the queue column's dtype: scalar
+    # parameters from a float32 pipeline would otherwise promote every
+    # intermediate to float64 and make the streaming slot diverge from
+    # the batched recurrence (exact no-op for float64 — python-float
+    # parameters and int slot clocks cast losslessly).
+    dtype = queues.dtype
+    budgets = np.asarray(budgets, dtype=dtype)
+    v0s = np.asarray(v0s, dtype=dtype)
+    gammas = np.asarray(gammas, dtype=dtype)
+    v_t = v0s * (np.asarray(times, dtype=dtype) + dtype.type(1.0)) ** gammas
     penalty = ((stored - x) ** 2).sum(axis=1) / dim
     objective_skip = v_t * penalty - queues * budgets
-    objective_send = queues * (1.0 - budgets)
+    objective_send = queues * (dtype.type(1.0) - budgets)
     transmit = (objective_send < objective_skip) | ~observed
     queues += transmit - budgets
     return transmit

@@ -39,6 +39,9 @@ def uniform_transmit_slot(
     Returns:
         Bool ``(n,)`` transmission decisions.
     """
+    # Stay in the accumulator column's dtype (see the adaptive kernel):
+    # a scalar budget must not promote float32 state through float64.
+    budgets = np.asarray(budgets, dtype=accumulators.dtype)
     accumulators += budgets * observed
     crossed = (accumulators >= 1.0) & observed
     accumulators[crossed] -= 1.0

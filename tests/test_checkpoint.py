@@ -430,3 +430,94 @@ class TestArtifactFormat:
         )
         assert diffs == [("a.c", 2, 3)]
         assert config_mismatch({"a": 1}, {"a": 1}) == []
+
+
+class TestMmapResume:
+    """Zero-copy resume: array members map copy-on-write and are
+    adopted as the session's live columns instead of being copied."""
+
+    def make_checkpoint(self, tmp_path, cut=12, policy="adaptive"):
+        cfg = config()
+        session = Engine(cfg, policy=policy).session(6, 1)
+        trace = walk_trace(steps=36, seed=21)
+        for t in range(cut):
+            session.ingest(trace[t])
+        return cfg, trace, session.save(tmp_path / f"{policy}.ckpt")
+
+    def test_array_members_are_stored_uncompressed(self, tmp_path):
+        # mmap needs byte-addressable members: arrays are ZIP_STORED,
+        # only the manifest stays deflated.
+        _, _, path = self.make_checkpoint(tmp_path)
+        with zipfile.ZipFile(path) as archive:
+            for info in archive.infolist():
+                if info.filename.endswith(".npy"):
+                    assert info.compress_type == zipfile.ZIP_STORED
+                else:
+                    assert info.compress_type == zipfile.ZIP_DEFLATED
+
+    def test_claim_adoption_is_one_shot_and_mmap_only(self, tmp_path):
+        _, _, path = self.make_checkpoint(tmp_path)
+        mapped = Checkpoint.load(path, mmap=True)
+        assert mapped.claim_adoption()
+        assert not mapped.claim_adoption()  # second claimant copies
+        plain = Checkpoint.load(path)
+        assert not plain.claim_adoption()
+
+    def test_snapshot_is_never_adoptable(self, tmp_path):
+        cfg = config()
+        session = Engine(cfg).session(4, 1)
+        session.ingest(walk_trace(steps=1, nodes=4)[0])
+        # Adopting a snapshot would alias the live session's columns.
+        assert not session.snapshot().claim_adoption()
+
+    def test_resume_adopts_mapped_columns(self, tmp_path):
+        cfg, _, path = self.make_checkpoint(tmp_path)
+        resumed = Engine(cfg).resume(path)  # mmap=True is the default
+        assert isinstance(resumed.fleet.stored, np.memmap)
+        copied = Engine(cfg).resume(path, mmap=False)
+        assert not isinstance(copied.fleet.stored, np.memmap)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_mmap_continuation_matches_in_memory(self, tmp_path, policy):
+        cfg, trace, path = self.make_checkpoint(tmp_path, policy=policy)
+        mapped = Engine(cfg, policy=policy).resume(path, mmap=True)
+        copied = Engine(cfg, policy=policy).resume(path, mmap=False)
+        for t in range(12, 36):
+            assert_outputs_equal(
+                mapped.ingest(trace[t]), copied.ingest(trace[t])
+            )
+        np.testing.assert_array_equal(
+            mapped.fleet.policy_state, copied.fleet.policy_state
+        )
+        assert (
+            mapped.transport_stats.messages
+            == copied.transport_stats.messages
+        )
+
+    def test_mapped_columns_are_copy_on_write(self, tmp_path):
+        # Ingesting into an adopted session must never write through to
+        # the checkpoint file on disk.
+        cfg, trace, path = self.make_checkpoint(tmp_path)
+        before = path.read_bytes()
+        resumed = Engine(cfg).resume(path)
+        for t in range(12, 36):
+            resumed.ingest(trace[t])
+        assert path.read_bytes() == before
+
+    def test_legacy_deflated_archive_falls_back(self, tmp_path):
+        # Checkpoints written before the ZIP_STORED layout deflate every
+        # member; mmap=True silently degrades to an in-memory load.
+        cfg, trace, path = self.make_checkpoint(tmp_path)
+        legacy = tmp_path / "legacy.ckpt"
+        with zipfile.ZipFile(path) as src, zipfile.ZipFile(
+            legacy, "w", zipfile.ZIP_DEFLATED
+        ) as dst:
+            for name in src.namelist():
+                dst.writestr(name, src.read(name))
+        resumed = Engine(cfg).resume(legacy, mmap=True)
+        assert not isinstance(resumed.fleet.stored, np.memmap)
+        reference = Engine(cfg).resume(path, mmap=False)
+        for t in range(12, 36):
+            assert_outputs_equal(
+                resumed.ingest(trace[t]), reference.ingest(trace[t])
+            )
