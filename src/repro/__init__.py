@@ -67,7 +67,7 @@ from repro.registry import (
 from repro.session import StreamSession
 from repro.simulation.fleet import FleetState
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Engine",

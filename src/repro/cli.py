@@ -166,13 +166,20 @@ def _build_parser() -> argparse.ArgumentParser:
              "package)",
     )
     lint_parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="report format (default: text; 'github' emits ::error "
+             "workflow commands for inline PR annotations)",
     )
     lint_parser.add_argument(
         "--runtime", action="store_true",
         help="also drive every registered component through the "
              "checkpoint round-trip and determinism contracts",
+    )
+    lint_parser.add_argument(
+        "--sanitize", action="store_true",
+        help="also run the shared-memory sanitizer: guard-canaried "
+             "ShardPool rounds with fd/segment leak accounting and "
+             "worker-crash recovery (RT-004/RT-005, never waivable)",
     )
     lint_parser.add_argument(
         "--rules", default=None, metavar="IDS",
@@ -181,6 +188,16 @@ def _build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--show-waived", action="store_true",
         help="also print findings suppressed by inline waivers",
+    )
+    lint_parser.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="incremental result cache file; unchanged files are "
+             "served from it instead of re-linted",
+    )
+    lint_parser.add_argument(
+        "--changed", default=None, metavar="REF",
+        help="only report file findings on files changed relative to "
+             "the given git ref (committed, staged or unstaged)",
     )
     return parser
 
@@ -502,20 +519,47 @@ def _command_demo(args: argparse.Namespace) -> int:
 
 
 def _command_lint(args: argparse.Namespace) -> int:
-    from repro.lint import lint_paths, render_json, render_text
+    from pathlib import Path
+
+    from repro.lint import (
+        changed_files,
+        lint_paths,
+        render_github,
+        render_json,
+        render_text,
+    )
 
     rules = None
     if args.rules is not None:
         rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    changed = None
+    if args.changed is not None:
+        try:
+            changed = changed_files(args.changed)
+        except Exception as exc:
+            print(
+                f"--changed {args.changed}: git diff failed: {exc}",
+                file=sys.stderr,
+            )
+            return 2
     try:
         result = lint_paths(
-            args.paths or None, rules=rules, runtime=args.runtime
+            args.paths or None,
+            rules=rules,
+            runtime=args.runtime,
+            sanitize=args.sanitize,
+            cache_path=Path(args.cache) if args.cache else None,
+            changed=changed,
         )
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "github":
+        output = render_github(result)
+        if output:
+            print(output)
     else:
         print(render_text(result, show_waived=args.show_waived))
     return result.exit_code

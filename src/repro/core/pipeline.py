@@ -304,6 +304,7 @@ class OnlinePipeline:
         """
         return {
             "time": self._time,
+            "num_nodes": self.num_nodes,
             "last_train": self._last_train,
             "stage_seconds": dict(self.stage_seconds),
             "stored_history": self._stored_history.get_state(),
@@ -337,6 +338,9 @@ class OnlinePipeline:
                     f"pipeline has {groups} resource groups"
                 )
         self._time = int(state["time"])
+        # Older checkpoints predate fleet churn and carry no geometry;
+        # they were always resumed at the constructed size.
+        self.num_nodes = int(state.get("num_nodes", self.num_nodes))
         last_train = state["last_train"]
         self._last_train = None if last_train is None else int(last_train)
         self.stage_seconds = {

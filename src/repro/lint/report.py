@@ -64,4 +64,44 @@ def render_json(result: "LintResult") -> str:
     return json.dumps(payload, indent=2, sort_keys=False)
 
 
-__all__ = ["REPORT_SCHEMA_VERSION", "render_json", "render_text"]
+def _github_escape(text: str) -> str:
+    """Escape the workflow-command property/message metacharacters."""
+    return (
+        text.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+
+
+def render_github(result: "LintResult") -> str:
+    """GitHub workflow commands: one ``::error`` per active finding.
+
+    Emitted to stdout inside an Actions job, each line becomes an
+    inline annotation on the PR diff at ``path:line``.  Runtime and
+    sanitizer findings carry a component coordinate instead of a file
+    path; they are emitted without ``file=`` so they still surface in
+    the job summary.
+    """
+    lines: List[str] = []
+    for finding in result.findings:
+        message = _github_escape(finding.message)
+        if finding.line > 0:
+            lines.append(
+                f"::error file={finding.path},line={finding.line},"
+                f"title={finding.rule_id}::{message}"
+            )
+        else:
+            coordinate = _github_escape(finding.path)
+            lines.append(
+                f"::error title={finding.rule_id}::"
+                f"{coordinate}: {message}"
+            )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "render_github",
+    "render_json",
+    "render_text",
+]

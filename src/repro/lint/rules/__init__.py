@@ -39,16 +39,31 @@ class LintRule:
         family: Rule family (see the module docstring).
         description: One-line summary shown by ``repro list``.
         scope: ``"static"`` rules run over the AST context;
-            ``"runtime"`` rules run under ``repro lint --runtime``.
+            ``"runtime"`` rules run under ``repro lint --runtime``;
+            ``"sanitize"`` rules run under ``repro lint --sanitize``.
+        granularity: ``"file"`` rules derive every finding for a file
+            from that file alone (given the shared summary layer) and
+            participate in the incremental result cache; ``"tree"``
+            rules reason across files and always re-run.
     """
 
     rule_id: str = ""
     family: str = ""
     description: str = ""
     scope: str = "static"
+    granularity: str = "file"
 
     def check(self, context) -> Iterator[Finding]:
-        """Yield findings against the given :class:`LintContext`."""
+        """Yield findings against the given :class:`LintContext`.
+
+        File-granularity rules implement :meth:`check_module` instead;
+        this default fans out over every module.
+        """
+        for info in context.iter_modules():
+            yield from self.check_module(context, info)
+
+    def check_module(self, context, info) -> Iterator[Finding]:
+        """Yield this rule's findings for one module."""
         return iter(())
 
 
@@ -58,11 +73,15 @@ LINT_RULES = Registry(
     "lint rule",
     modules=(
         "repro.lint.rules.state_contract",
+        "repro.lint.rules.checkpoint_coverage",
         "repro.lint.rules.registry_sync",
         "repro.lint.rules.kernel_purity",
         "repro.lint.rules.dtype_discipline",
+        "repro.lint.rules.dtype_flow",
+        "repro.lint.rules.shm_discipline",
         "repro.lint.waivers",
         "repro.lint.runtime",
+        "repro.lint.sanitize",
     ),
 )
 
@@ -101,6 +120,15 @@ def runtime_rules() -> List[LintRule]:
     ]
 
 
+def sanitize_rules() -> List[LintRule]:
+    """All registered sanitizer-scope rules, by rule id."""
+    return [
+        LINT_RULES.get(name)
+        for name in LINT_RULES.available()
+        if LINT_RULES.get(name).scope == "sanitize"
+    ]
+
+
 def rules_by_id(rule_ids: Iterable[str]) -> List[LintRule]:
     """Resolve explicit rule ids (unknown ids raise a friendly error)."""
     return [LINT_RULES.get(rule_id) for rule_id in rule_ids]
@@ -113,5 +141,6 @@ __all__ = [
     "register_lint_rule",
     "rules_by_id",
     "runtime_rules",
+    "sanitize_rules",
     "static_rules",
 ]

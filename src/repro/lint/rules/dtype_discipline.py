@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import ast
 from fnmatch import fnmatch
-from typing import Iterator, List
+from typing import Iterator
 
 from repro.lint.context import LintContext, ModuleInfo, dotted_name
 from repro.lint.findings import Finding
@@ -40,14 +40,6 @@ _ALLOCATORS = {
 }
 
 
-def _dtype_modules(context: LintContext) -> List[ModuleInfo]:
-    return [
-        info
-        for info in context.iter_modules()
-        if any(fnmatch(info.name, pat) for pat in DTYPE_MODULE_PATTERNS)
-    ]
-
-
 class DtypeDisciplineRule(LintRule):
     """DT-001: allocations in fleet-scale modules state their dtype."""
 
@@ -58,36 +50,41 @@ class DtypeDisciplineRule(LintRule):
         "must pass an explicit dtype"
     )
 
-    def check(self, context: LintContext) -> Iterator[Finding]:
-        for info in _dtype_modules(context):
-            for node in info.walk():
-                if not isinstance(node, ast.Call):
-                    continue
-                dotted = dotted_name(node.func)
-                if dotted is None:
-                    continue
-                parts = dotted.split(".")
-                if len(parts) != 2 or parts[0] not in ("np", "numpy"):
-                    continue
-                allocator = parts[1]
-                dtype_pos = _ALLOCATORS.get(allocator)
-                if dtype_pos is None:
-                    continue
-                has_dtype = any(
-                    keyword.arg == "dtype" for keyword in node.keywords
-                ) or len(node.args) > dtype_pos
-                if not has_dtype:
-                    yield Finding(
-                        path=info.rel_path,
-                        line=node.lineno,
-                        rule_id=self.rule_id,
-                        message=(
-                            f"np.{allocator}() without an explicit dtype "
-                            "in a fleet-scale module; implicit float64 "
-                            "pins precision the float32 fleet refactor "
-                            "must control"
-                        ),
-                    )
+    def check_module(
+        self, context: LintContext, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        if not any(
+            fnmatch(info.name, pat) for pat in DTYPE_MODULE_PATTERNS
+        ):
+            return
+        for node in info.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if len(parts) != 2 or parts[0] not in ("np", "numpy"):
+                continue
+            allocator = parts[1]
+            dtype_pos = _ALLOCATORS.get(allocator)
+            if dtype_pos is None:
+                continue
+            has_dtype = any(
+                keyword.arg == "dtype" for keyword in node.keywords
+            ) or len(node.args) > dtype_pos
+            if not has_dtype:
+                yield Finding(
+                    path=info.rel_path,
+                    line=node.lineno,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"np.{allocator}() without an explicit dtype "
+                        "in a fleet-scale module; implicit float64 "
+                        "pins precision the float32 fleet refactor "
+                        "must control"
+                    ),
+                )
 
 
 register_lint_rule(DtypeDisciplineRule())

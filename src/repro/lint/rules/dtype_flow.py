@@ -1,0 +1,86 @@
+"""DT-002: dtype dataflow — no float64 upcasts of state-dtype arrays.
+
+``DT-001`` checks allocation sites; it cannot see what happens to the
+array afterwards.  PR 8 threaded a ``dtype`` knob through every
+allocator and hand-fixed the slot kernels where bare python floats
+would promote float32 intermediates to float64 (making the streaming
+slot diverge from the batched recurrence).  ``DT-002`` makes that fix
+class a rule: the dataflow layer tags every local whose dtype is
+parameterized (*state-dtype* — see :mod:`repro.lint.dataflow`), and
+any arithmetic combining such an array with a bare float literal or a
+float64-typed value is flagged.  The sanctioned idioms pass clean::
+
+    dtype = queues.dtype
+    v_t = v0s * (times + dtype.type(1.0)) ** gammas      # cast scalar
+    budgets = np.asarray(budgets, dtype=dtype)           # cast array
+
+while the regression the rule exists for is caught::
+
+    v_t = v0s * (times + 1.0) ** gammas                  # DT-002
+
+The pass is intraprocedural with a call-graph summary layer: a kernel
+called with a state-dtype fleet column has its parameters tagged
+state-dtype at every depth, without annotations.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+from typing import Iterator
+
+from repro.lint.context import LintContext, ModuleInfo
+from repro.lint.dataflow import module_summaries
+from repro.lint.findings import Finding
+from repro.lint.rules import LintRule, register_lint_rule
+from repro.lint.rules.dtype_discipline import DTYPE_MODULE_PATTERNS
+
+#: Modules the dataflow pass covers: the DT-001 allocator modules plus
+#: the whole-trace collection recurrences and the scenario link models
+#: (both consume fleet columns whose dtype the config controls).
+DTYPE_FLOW_MODULE_PATTERNS = DTYPE_MODULE_PATTERNS + (
+    "*simulation.collection",
+    "*scenarios.links",
+    "*forecasting.exponential",
+    "*forecasting.sample_hold",
+    "*forecasting.yule_walker",
+)
+
+
+class DtypeFlowRule(LintRule):
+    """DT-002: state-dtype arrays never meet bare float64 arithmetic."""
+
+    rule_id = "DT-002"
+    family = "dtype"
+    description = (
+        "arithmetic mixing state-dtype arrays with bare float "
+        "literals or float64 values upcasts under NEP 50; cast via "
+        "dtype.type(...) or np.asarray(..., dtype=...)"
+    )
+
+    def check_module(
+        self, context: LintContext, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        if not any(
+            fnmatch(info.name, pat) for pat in DTYPE_FLOW_MODULE_PATTERNS
+        ):
+            return
+        summaries = module_summaries(context)
+        for facts in summaries.facts_for(info):
+            for mixing in facts.mixings:
+                yield Finding(
+                    path=info.rel_path,
+                    line=mixing.lineno,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{mixing.detail}; the result silently "
+                        "promotes to float64 and breaks the "
+                        "float32-pipeline bit-identity pin — cast the "
+                        "scalar with dtype.type(...) or the array with "
+                        "np.asarray(..., dtype=...)"
+                    ),
+                )
+
+
+register_lint_rule(DtypeFlowRule())
+
+__all__ = ["DTYPE_FLOW_MODULE_PATTERNS", "DtypeFlowRule"]

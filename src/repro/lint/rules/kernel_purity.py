@@ -63,6 +63,14 @@ AXIS_NAMES = frozenset(
 )
 
 
+def _is_kernel_module(context: LintContext, info: ModuleInfo) -> bool:
+    names = getattr(context, "_kernel_module_names", None)
+    if names is None:
+        names = {m.name for m in context.kernel_modules()}
+        context._kernel_module_names = names
+    return info.name in names
+
+
 def _docstring_documents_mutation(func: ast.FunctionDef) -> bool:
     doc = ast.get_docstring(func) or ""
     # Collapse whitespace so "in\n    place" in a wrapped docstring
@@ -107,25 +115,28 @@ class KernelDeterminismRule(LintRule):
         "or random.* (determinism is the equivalence contract)"
     )
 
-    def check(self, context: LintContext) -> Iterator[Finding]:
-        for info in context.kernel_modules():
-            imports = self._imported_modules(info)
-            for node in info.walk():
-                if not isinstance(node, ast.Call):
-                    continue
-                dotted = dotted_name(node.func)
-                if dotted is None:
-                    continue
-                offense = self._classify(dotted, imports)
-                if offense is not None:
-                    yield Finding(
-                        path=info.rel_path,
-                        line=node.lineno,
-                        rule_id=self.rule_id,
-                        message=(
-                            f"kernel module calls {dotted}(): {offense}"
-                        ),
-                    )
+    def check_module(
+        self, context: LintContext, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        if not _is_kernel_module(context, info):
+            return
+        imports = self._imported_modules(info)
+        for node in info.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            offense = self._classify(dotted, imports)
+            if offense is not None:
+                yield Finding(
+                    path=info.rel_path,
+                    line=node.lineno,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"kernel module calls {dotted}(): {offense}"
+                    ),
+                )
 
     @staticmethod
     def _imported_modules(info: ModuleInfo) -> Set[str]:
@@ -165,15 +176,18 @@ class KernelMutationRule(LintRule):
         "docstring documents it or the parameter is named 'out'"
     )
 
-    def check(self, context: LintContext) -> Iterator[Finding]:
-        for info in context.kernel_modules():
-            for func in _iter_functions(info):
-                if _docstring_documents_mutation(func):
-                    continue
-                params = _function_params(func) - {"out"}
-                if not params:
-                    continue
-                yield from self._check_function(info, func, params)
+    def check_module(
+        self, context: LintContext, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        if not _is_kernel_module(context, info):
+            return
+        for func in _iter_functions(info):
+            if _docstring_documents_mutation(func):
+                continue
+            params = _function_params(func) - {"out"}
+            if not params:
+                continue
+            yield from self._check_function(info, func, params)
 
     def _check_function(
         self, info: ModuleInfo, func: ast.FunctionDef, params: Set[str]
@@ -226,24 +240,27 @@ class KernelAxisLoopRule(LintRule):
         "node/series axis (use one array operation)"
     )
 
-    def check(self, context: LintContext) -> Iterator[Finding]:
-        for info in context.kernel_modules():
-            for node in info.walk():
-                if not isinstance(node, ast.For):
-                    continue
-                axis = _terminal_identifiers(node.iter) & AXIS_NAMES
-                if axis:
-                    name = sorted(axis)[0]
-                    yield Finding(
-                        path=info.rel_path,
-                        line=node.lineno,
-                        rule_id=self.rule_id,
-                        message=(
-                            f"for loop iterates the node/series axis "
-                            f"({name}); kernels advance the whole fleet "
-                            "in one array operation"
-                        ),
-                    )
+    def check_module(
+        self, context: LintContext, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        if not _is_kernel_module(context, info):
+            return
+        for node in info.walk():
+            if not isinstance(node, ast.For):
+                continue
+            axis = _terminal_identifiers(node.iter) & AXIS_NAMES
+            if axis:
+                name = sorted(axis)[0]
+                yield Finding(
+                    path=info.rel_path,
+                    line=node.lineno,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"for loop iterates the node/series axis "
+                        f"({name}); kernels advance the whole fleet "
+                        "in one array operation"
+                    ),
+                )
 
 
 register_lint_rule(KernelDeterminismRule())

@@ -33,6 +33,7 @@ class RegistrySeedRule(LintRule):
         "every Registry(modules=...) entry must exist and reach a "
         "matching @register_* call"
     )
+    granularity = "tree"
 
     def check(self, context: LintContext) -> Iterator[Finding]:
         sites_by_var: dict = {}
@@ -80,6 +81,7 @@ class OrphanRegistrationRule(LintRule):
         "every @register_* call must be reachable from its registry's "
         "lazy-load module list"
     )
+    granularity = "tree"
 
     def check(self, context: LintContext) -> Iterator[Finding]:
         reachable_by_var = {

@@ -1,0 +1,449 @@
+"""Shared-memory discipline rules: SHM-001/002/003.
+
+PR 8's :class:`~repro.simulation.shard_pool.ShardPool` made
+``multiprocessing.shared_memory`` the riskiest surface in the repo:
+a leaked segment survives the process (``/dev/shm`` residue), a write
+from the wrong process races the range owner, and an ndarray that
+slips into a command pipe silently re-pickles the very bytes the pool
+exists to not copy.  These rules scope to every module importing
+``multiprocessing.shared_memory`` and encode the ownership discipline
+the sysml_fair_verif exemplar models formally — who may create, write
+and destroy which memory, when:
+
+* ``SHM-001`` (leak) — every ``SharedMemory(create=True)`` segment
+  must reach ``close()`` **and** ``unlink()`` on all exit paths of the
+  creating function, including exception edges: cleanup must sit in a
+  ``finally`` block (or in both the normal path and an ``except``
+  handler), either directly on the segment variable or via a loop over
+  a collection the segment was appended to.  A segment that escapes
+  the creating function (returned / stored on ``self``) moves its
+  lifecycle out of static reach and must carry a declared-ownership
+  annotation.
+* ``SHM-002`` (cross-shard race) — subscript stores into
+  shared-memory-backed views (``np.ndarray(..., buffer=...)`` or a
+  helper returning one, tracked by the dataflow layer) are only legal
+  in functions declared *range owners* via the
+  ``@shm_range_owner("...")`` decorator or a
+  ``# repro: shm-owner(reason)`` comment on the def or the write line.
+* ``SHM-003`` (re-pickle) — pipe/queue ``.send(...)`` payloads must
+  not reference ndarray-typed locals: requests name node ranges,
+  never array data.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.context import LintContext, ModuleInfo, dotted_name
+from repro.lint.dataflow import function_node_for, module_summaries
+from repro.lint.findings import Finding
+from repro.lint.rules import LintRule, register_lint_rule
+
+#: Decorator names that declare a function the owner of the shard
+#: ranges it writes (SHM-002).
+OWNER_DECORATORS = frozenset({"shm_range_owner", "owns_range"})
+
+#: Comment form of the same declaration, reason mandatory.
+_OWNER_COMMENT = re.compile(
+    r"#\s*repro:\s*shm-owner\s*\(([^()]+)\)", re.IGNORECASE
+)
+
+
+def is_shm_module(info: ModuleInfo) -> bool:
+    """True when the module imports ``multiprocessing.shared_memory``."""
+    for node in info.walk():
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("multiprocessing.shared_memory"):
+                    return True
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "multiprocessing.shared_memory":
+                return True
+            if module == "multiprocessing" and any(
+                alias.name == "shared_memory" for alias in node.names
+            ):
+                return True
+    return False
+
+
+def owner_comment_lines(info: ModuleInfo) -> Dict[int, str]:
+    """Lines covered by a ``# repro: shm-owner(reason)`` declaration.
+
+    Like waivers, a trailing comment covers its own line and a comment
+    on a line of its own covers the *next* line.
+    """
+    lines: Dict[int, str] = {}
+    source_lines = info.source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(info.source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _OWNER_COMMENT.search(token.string)
+            if not (match and match.group(1).strip()):
+                continue
+            line, column = token.start
+            prefix = (
+                source_lines[line - 1][:column]
+                if line <= len(source_lines)
+                else ""
+            )
+            target = line + 1 if not prefix.strip() else line
+            lines[target] = match.group(1).strip()
+    except tokenize.TokenizeError:  # pragma: no cover - PARSE-001 fires
+        pass
+    return lines
+
+
+def _decorator_names(func: ast.FunctionDef) -> Set[str]:
+    names: Set[str] = set()
+    for decorator in func.decorator_list:
+        node = decorator.func if isinstance(decorator, ast.Call) else decorator
+        dotted = dotted_name(node)
+        if dotted is not None:
+            names.add(dotted.split(".")[-1])
+    return names
+
+
+def _def_line_span(func: ast.FunctionDef) -> Tuple[int, int]:
+    """Lines a def-level ownership comment may sit on."""
+    first = func.lineno
+    if func.decorator_list:
+        first = min(d.lineno for d in func.decorator_list)
+    return first, func.lineno
+
+
+class _CreateSite:
+    """One ``SharedMemory(create=True)`` call bound in a function."""
+
+    def __init__(self, node: ast.Call, var: Optional[str],
+                 collection: Optional[str]) -> None:
+        self.node = node
+        self.var = var  #: Local the segment is bound to (or None).
+        self.collection = collection  #: Collection it is appended to.
+
+
+def _is_create_call(node: ast.Call) -> bool:
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return False
+    leaf = dotted.split(".")[-1]
+    if leaf != "SharedMemory":
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def _walk_statements(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+    for stmt in body:
+        yield stmt
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                yield from _walk_statements([child])
+            elif isinstance(
+                child, (ast.ExceptHandler,)
+            ):
+                yield from _walk_statements(child.body)
+
+
+def _collect_create_sites(func: ast.FunctionDef) -> List[_CreateSite]:
+    sites: List[_CreateSite] = []
+    for stmt in _walk_statements(func.body):
+        if isinstance(stmt, ast.Assign):
+            if isinstance(stmt.value, ast.Call) and _is_create_call(
+                stmt.value
+            ):
+                var = None
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        var = target.id
+                sites.append(_CreateSite(stmt.value, var, None))
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            # collection.append(SharedMemory(create=True, ...))
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "append"
+                and isinstance(call.func.value, ast.Name)
+                and call.args
+                and isinstance(call.args[0], ast.Call)
+                and _is_create_call(call.args[0])
+            ):
+                sites.append(
+                    _CreateSite(call.args[0], None, call.func.value.id)
+                )
+            elif _is_create_call(call):
+                sites.append(_CreateSite(call, None, None))
+    return sites
+
+
+def _cleanup_calls(
+    body: List[ast.stmt], var: Optional[str], collection: Optional[str]
+) -> Set[str]:
+    """Which of close/unlink the statements apply to the segment.
+
+    Counts direct ``var.close()``/``var.unlink()`` calls and loops over
+    ``collection`` whose body calls them on the loop variable.
+    """
+    found: Set[str] = set()
+    for stmt in _walk_statements(body):
+        for node in ast.walk(stmt):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("close", "unlink")
+            ):
+                continue
+            receiver = node.func.value
+            if (
+                var is not None
+                and isinstance(receiver, ast.Name)
+                and receiver.id == var
+            ):
+                found.add(node.func.attr)
+        if (
+            collection is not None
+            and isinstance(stmt, ast.For)
+            and isinstance(stmt.iter, ast.Name)
+            and stmt.iter.id == collection
+            and isinstance(stmt.target, ast.Name)
+        ):
+            loop_var = stmt.target.id
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("close", "unlink")
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == loop_var
+                ):
+                    found.add(node.func.attr)
+    return found
+
+
+def _escapes(func: ast.FunctionDef, names: Set[str]) -> bool:
+    """True when a tracked name is returned or stored on an attribute."""
+    for stmt in _walk_statements(func.body):
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            for node in ast.walk(stmt.value):
+                if isinstance(node, ast.Name) and node.id in names:
+                    return True
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Attribute):
+                    for node in ast.walk(stmt.value):
+                        if isinstance(node, ast.Name) and node.id in names:
+                            return True
+    return False
+
+
+class ShmLeakRule(LintRule):
+    """SHM-001: created segments reach close()+unlink() on all paths."""
+
+    rule_id = "SHM-001"
+    family = "shared-memory"
+    description = (
+        "SharedMemory(create=True) segments must reach close() and "
+        "unlink() on every exit path (finally-protected), or carry a "
+        "declared-ownership annotation when their lifecycle escapes"
+    )
+
+    def check_module(
+        self, context: LintContext, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        if not is_shm_module(info):
+            return
+        owner_lines = owner_comment_lines(info)
+        for node in info.walk():
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            yield from self._check_function(info, node, owner_lines)
+
+    def _check_function(
+        self,
+        info: ModuleInfo,
+        func: ast.FunctionDef,
+        owner_lines: Dict[int, str],
+    ) -> Iterator[Finding]:
+        sites = _collect_create_sites(func)
+        if not sites:
+            return
+        finally_bodies: List[List[ast.stmt]] = []
+        handler_bodies: List[List[ast.stmt]] = []
+        for stmt in _walk_statements(func.body):
+            if isinstance(stmt, ast.Try):
+                if stmt.finalbody:
+                    finally_bodies.append(stmt.finalbody)
+                for handler in stmt.handlers:
+                    handler_bodies.append(handler.body)
+        for site in sites:
+            line = site.node.lineno
+            if site.var is None and site.collection is None:
+                yield Finding(
+                    path=info.rel_path,
+                    line=line,
+                    rule_id=self.rule_id,
+                    message=(
+                        "SharedMemory(create=True) handle is discarded; "
+                        "bind it so close()/unlink() can run on every "
+                        "exit path"
+                    ),
+                )
+                continue
+            tracked = {n for n in (site.var, site.collection) if n}
+            first, last = _def_line_span(func)
+            declared = any(
+                ln in owner_lines for ln in range(first, last + 1)
+            ) or line in owner_lines
+            if _escapes(func, tracked) and not declared:
+                yield Finding(
+                    path=info.rel_path,
+                    line=line,
+                    rule_id=self.rule_id,
+                    message=(
+                        "created segment escapes the creating function; "
+                        "its lifecycle is not statically verifiable — "
+                        "declare ownership with "
+                        "# repro: shm-owner(reason) and manage close()/"
+                        "unlink() at the owner"
+                    ),
+                )
+                continue
+            if declared:
+                continue
+            in_finally: Set[str] = set()
+            for body in finally_bodies:
+                in_finally |= _cleanup_calls(
+                    body, site.var, site.collection
+                )
+            if {"close", "unlink"} <= in_finally:
+                continue
+            everywhere = _cleanup_calls(
+                func.body, site.var, site.collection
+            )
+            in_handlers: Set[str] = set()
+            for body in handler_bodies:
+                in_handlers |= _cleanup_calls(
+                    body, site.var, site.collection
+                )
+            if {"close", "unlink"} <= in_handlers and {
+                "close",
+                "unlink",
+            } <= everywhere:
+                continue
+            missing = sorted({"close", "unlink"} - everywhere)
+            if missing:
+                what = " and ".join(f"{m}()" for m in missing)
+                detail = f"never reaches {what}"
+            else:
+                detail = (
+                    "cleanup only covers the happy path; an exception "
+                    "between create and cleanup leaks the segment "
+                    "(move close()/unlink() into a finally block)"
+                )
+            yield Finding(
+                path=info.rel_path,
+                line=line,
+                rule_id=self.rule_id,
+                message=f"created shared-memory segment {detail}",
+            )
+
+
+class ShmRangeOwnershipRule(LintRule):
+    """SHM-002: only declared range owners write through shm views."""
+
+    rule_id = "SHM-002"
+    family = "shared-memory"
+    description = (
+        "writes into shared-memory-backed array views require a "
+        "declared range owner (@shm_range_owner or "
+        "# repro: shm-owner(reason))"
+    )
+
+    def check_module(
+        self, context: LintContext, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        if not is_shm_module(info):
+            return
+        owner_lines = owner_comment_lines(info)
+        summaries = module_summaries(context)
+        for facts in summaries.facts_for(info):
+            if not facts.view_writes:
+                continue
+            func = function_node_for(info, facts.qualname)
+            if func is not None:
+                if _decorator_names(func) & OWNER_DECORATORS:
+                    continue
+                first, last = _def_line_span(func)
+                if any(ln in owner_lines for ln in range(first, last + 1)):
+                    continue
+            for write in facts.view_writes:
+                if write.lineno in owner_lines:
+                    continue
+                yield Finding(
+                    path=info.rel_path,
+                    line=write.lineno,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"write into shared-memory view "
+                        f"{write.target!r} outside a declared range "
+                        "owner; annotate the function with "
+                        "@shm_range_owner(...) or the line with "
+                        "# repro: shm-owner(reason) (cross-shard race "
+                        "otherwise)"
+                    ),
+                )
+
+
+class ShmPipePickleRule(LintRule):
+    """SHM-003: pipe messages must not carry ndarray-typed locals."""
+
+    rule_id = "SHM-003"
+    family = "shared-memory"
+    description = (
+        "pipe .send(...) payloads must not reference ndarray locals — "
+        "silent re-pickling defeats the zero-copy design"
+    )
+
+    def check_module(
+        self, context: LintContext, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        if not is_shm_module(info):
+            return
+        summaries = module_summaries(context)
+        for facts in summaries.facts_for(info):
+            for send in facts.pipe_sends:
+                names = ", ".join(send.names)
+                yield Finding(
+                    path=info.rel_path,
+                    line=send.lineno,
+                    rule_id=self.rule_id,
+                    message=(
+                        f".send(...) payload references ndarray "
+                        f"local(s) {names}; pipe messages name node "
+                        "ranges — arrays travel through shared memory, "
+                        "never the pipe (re-pickling defeats zero-copy)"
+                    ),
+                )
+
+
+register_lint_rule(ShmLeakRule())
+register_lint_rule(ShmRangeOwnershipRule())
+register_lint_rule(ShmPipePickleRule())
+
+__all__ = [
+    "OWNER_DECORATORS",
+    "ShmLeakRule",
+    "ShmPipePickleRule",
+    "ShmRangeOwnershipRule",
+    "is_shm_module",
+    "owner_comment_lines",
+]

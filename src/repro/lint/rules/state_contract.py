@@ -217,27 +217,28 @@ class StatePairRule(LintRule):
         "set_state/_load_state (and vice versa)"
     )
 
-    def check(self, context: LintContext) -> Iterator[Finding]:
-        for info in context.iter_modules():
-            for node in info.walk():
-                if not isinstance(node, ast.ClassDef):
+    def check_module(
+        self, context: LintContext, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        for node in info.walk():
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = _class_methods(node)
+            for getter, setter in STATE_PAIRS:
+                has_get, has_set = getter in methods, setter in methods
+                if has_get == has_set:
                     continue
-                methods = _class_methods(node)
-                for getter, setter in STATE_PAIRS:
-                    has_get, has_set = getter in methods, setter in methods
-                    if has_get == has_set:
-                        continue
-                    present = getter if has_get else setter
-                    missing = setter if has_get else getter
-                    yield Finding(
-                        path=info.rel_path,
-                        line=methods[present].lineno,
-                        rule_id=self.rule_id,
-                        message=(
-                            f"class {node.name} defines {present} without "
-                            f"{missing}; checkpoint state must round-trip"
-                        ),
-                    )
+                present = getter if has_get else setter
+                missing = setter if has_get else getter
+                yield Finding(
+                    path=info.rel_path,
+                    line=methods[present].lineno,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"class {node.name} defines {present} without "
+                        f"{missing}; checkpoint state must round-trip"
+                    ),
+                )
 
 
 class StateKeysRule(LintRule):
@@ -250,19 +251,20 @@ class StateKeysRule(LintRule):
         "keys read by set_state/_load_state"
     )
 
-    def check(self, context: LintContext) -> Iterator[Finding]:
-        for info in context.iter_modules():
-            for node in info.walk():
-                if not isinstance(node, ast.ClassDef):
+    def check_module(
+        self, context: LintContext, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        for node in info.walk():
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = _class_methods(node)
+            for getter, setter in STATE_PAIRS:
+                if getter not in methods or setter not in methods:
                     continue
-                methods = _class_methods(node)
-                for getter, setter in STATE_PAIRS:
-                    if getter not in methods or setter not in methods:
-                        continue
-                    yield from self._check_pair(
-                        info, node, methods[getter], methods[setter],
-                        hooks=getter == "_state",
-                    )
+                yield from self._check_pair(
+                    info, node, methods[getter], methods[setter],
+                    hooks=getter == "_state",
+                )
 
     def _check_pair(
         self,

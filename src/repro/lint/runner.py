@@ -3,13 +3,25 @@
 :func:`lint_paths` is the one entry point both the CLI (``repro
 lint``) and the test suite use — tests import it directly and assert
 on the returned :class:`LintResult` instead of scraping CLI output.
+
+The run is staged by rule granularity:
+
+* *file* rules run per module through the incremental cache (when a
+  ``cache_path`` is given): a module whose content hash and the
+  run-wide cache key both match is served from the cache, everything
+  else is re-linted and stored back;
+* *tree* rules (the registry family) reason across files and always
+  re-run;
+* *runtime* and *sanitize* rules drive live components and processes;
+  their findings are appended **after** waiver filtering — they are
+  never waivable and never cached.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.context import LintContext, build_context
 from repro.lint.findings import Finding
@@ -17,6 +29,7 @@ from repro.lint.rules import (
     LintRule,
     rules_by_id,
     runtime_rules,
+    sanitize_rules,
     static_rules,
 )
 from repro.lint.waivers import collect_waivers
@@ -32,12 +45,16 @@ class LintResult:
             carries its ``waive_reason``).
         files: Number of files analyzed.
         rules_run: Ids of the rules that ran.
+        files_reused: Files served from the incremental cache.
+        files_relinted: Files actually re-analyzed this run.
     """
 
     findings: List[Finding] = field(default_factory=list)
     waived: List[Finding] = field(default_factory=list)
     files: int = 0
     rules_run: Tuple[str, ...] = ()
+    files_reused: int = 0
+    files_relinted: int = 0
 
     @property
     def ok(self) -> bool:
@@ -56,23 +73,14 @@ def default_target() -> Path:
     return Path(repro.__file__).parent
 
 
-def _apply_waivers(
-    context: LintContext,
-    waivers_by_module: Dict[str, Dict[int, Dict[str, str]]],
-    findings: Iterable[Finding],
+def _split_waived(
+    waivers: Dict[int, Dict[str, str]], findings: Iterable[Finding]
 ) -> Tuple[List[Finding], List[Finding]]:
-    """Split raw findings into (active, waived) using inline waivers."""
-    waivers_by_path: Dict[str, Dict[int, Dict[str, str]]] = {}
-    for name, waivers in waivers_by_module.items():
-        waivers_by_path[context.modules[name].rel_path] = waivers
+    """Split one file's raw findings into (active, waived)."""
     active: List[Finding] = []
     waived: List[Finding] = []
     for finding in findings:
-        reason = (
-            waivers_by_path.get(finding.path, {})
-            .get(finding.line, {})
-            .get(finding.rule_id)
-        )
+        reason = waivers.get(finding.line, {}).get(finding.rule_id)
         if reason is None:
             active.append(finding)
         else:
@@ -88,11 +96,62 @@ def _apply_waivers(
     return active, waived
 
 
+def changed_files(ref: str, repo_root: Optional[Path] = None) -> Set[Path]:
+    """Absolute paths of files changed relative to a git ref.
+
+    Combines committed changes since ``ref`` with staged and unstaged
+    working-tree edits, so ``repro lint --changed origin/main`` sees
+    exactly what a PR diff will.
+    """
+    import subprocess
+
+    root = Path(repo_root) if repo_root is not None else Path.cwd()
+    top = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        cwd=root,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout.strip()
+    names: Set[str] = set()
+    for args in (["diff", "--name-only", ref], ["diff", "--name-only"]):
+        out = subprocess.run(
+            ["git", *args],
+            cwd=top,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        names.update(line for line in out.splitlines() if line.strip())
+    return {(Path(top) / name).resolve() for name in names}
+
+
+def _filter_changed(
+    context: LintContext,
+    findings: List[Finding],
+    changed: Set[Path],
+) -> List[Finding]:
+    """Keep findings on changed files (non-file findings always pass)."""
+    abs_by_rel = {
+        info.rel_path: Path(info.path).resolve()
+        for info in context.iter_modules()
+    }
+    kept = []
+    for finding in findings:
+        abs_path = abs_by_rel.get(finding.path)
+        if abs_path is None or abs_path in changed:
+            kept.append(finding)
+    return kept
+
+
 def lint_paths(
     paths: Optional[Sequence] = None,
     *,
     rules: Optional[Sequence[str]] = None,
     runtime: bool = False,
+    sanitize: bool = False,
+    cache_path: Optional[Path] = None,
+    changed: Optional[Set[Path]] = None,
 ) -> LintResult:
     """Run the repro invariant checks.
 
@@ -100,10 +159,19 @@ def lint_paths(
         paths: Files/directories to lint; defaults to the installed
             ``repro`` package.
         rules: Restrict to these rule ids (default: all rules of the
-            selected scope).
+            selected scopes).
         runtime: Also run the runtime contract verifier
             (``repro lint --runtime``); runtime findings are never
             waivable — they describe live components, not source lines.
+        sanitize: Also run the shm sanitizer (``repro lint
+            --sanitize``): guard-canary ShardPool rounds with fd and
+            segment leak accounting.  Never waivable, like runtime.
+        cache_path: Incremental cache file; file-granularity results
+            are reused for files whose content hash and summary-layer
+            key are unchanged.
+        changed: Restrict *reported* file findings to these absolute
+            paths (``repro lint --changed REF``); non-file findings
+            (runtime, sanitize) always pass through.
 
     Returns:
         A :class:`LintResult`; ``result.ok`` is the pass/fail verdict
@@ -118,14 +186,68 @@ def lint_paths(
         selected = static_rules()
         if runtime:
             selected += runtime_rules()
+        if sanitize:
+            selected += sanitize_rules()
+    file_rules = [
+        r
+        for r in selected
+        if r.scope == "static" and r.granularity == "file"
+    ]
+    tree_rules = [
+        r
+        for r in selected
+        if r.scope == "static" and r.granularity != "file"
+    ]
     context = build_context(paths)
     waivers_by_module = collect_waivers(context)
-    raw: List[Finding] = []
-    for rule in selected:
-        if rule.scope == "static":
-            raw.extend(rule.check(context))
+
+    cache = None
+    if cache_path is not None:
+        from repro.lint.cache import LintCache, cache_key
+        from repro.lint.dataflow import module_summaries
+
+        key = cache_key(
+            module_summaries(context).digest(),
+            [r.rule_id for r in file_rules],
+        )
+        cache = LintCache.load(Path(cache_path), key=key)
+
+    active: List[Finding] = []
+    waived: List[Finding] = []
+    files_reused = 0
+    files_relinted = 0
+    for info in context.iter_modules():
+        from repro.lint.cache import content_hash
+
+        file_hash = content_hash(info.source)
+        hit = (
+            cache.lookup(info.rel_path, file_hash)
+            if cache is not None
+            else None
+        )
+        if hit is not None:
+            file_active, file_waived = hit
+            files_reused += 1
+        else:
+            raw: List[Finding] = []
+            for rule in file_rules:
+                raw.extend(rule.check_module(context, info))
+            file_active, file_waived = _split_waived(
+                waivers_by_module.get(info.name, {}), raw
+            )
+            if cache is not None:
+                cache.store(
+                    info.rel_path, file_hash, file_active, file_waived
+                )
+            files_relinted += 1
+        active.extend(file_active)
+        waived.extend(file_waived)
+
+    tree_raw: List[Finding] = []
+    for rule in tree_rules:
+        tree_raw.extend(rule.check(context))
     for rel_path, lineno, message in context.parse_failures:
-        raw.append(
+        tree_raw.append(
             Finding(
                 path=rel_path,
                 line=lineno,
@@ -133,17 +255,35 @@ def lint_paths(
                 message=f"file does not parse: {message}",
             )
         )
-    active, waived = _apply_waivers(context, waivers_by_module, raw)
-    if runtime or (
-        rules is not None and any(r.scope == "runtime" for r in selected)
-    ):
+    waivers_by_path: Dict[str, Dict[int, Dict[str, str]]] = {
+        context.modules[name].rel_path: module_waivers
+        for name, module_waivers in waivers_by_module.items()
+    }
+    for finding in tree_raw:
+        file_active, file_waived = _split_waived(
+            waivers_by_path.get(finding.path, {}), [finding]
+        )
+        active.extend(file_active)
+        waived.extend(file_waived)
+
+    if cache is not None:
+        cache.save()
+    if changed is not None:
+        active = _filter_changed(context, active, changed)
+        waived = _filter_changed(context, waived, changed)
+
+    runtime_ids = tuple(r.rule_id for r in selected if r.scope == "runtime")
+    if runtime_ids:
         from repro.lint.runtime import run_runtime_checks
 
-        runtime_ids = tuple(
-            r.rule_id for r in selected if r.scope == "runtime"
-        )
-        if runtime_ids:
-            active.extend(run_runtime_checks(only=runtime_ids))
+        active.extend(run_runtime_checks(only=runtime_ids))
+    sanitize_ids = tuple(
+        r.rule_id for r in selected if r.scope == "sanitize"
+    )
+    if sanitize_ids:
+        from repro.lint.sanitize import run_sanitize_checks
+
+        active.extend(run_sanitize_checks(only=sanitize_ids))
     active.sort(key=lambda f: f.sort_key())
     waived.sort(key=lambda f: f.sort_key())
     return LintResult(
@@ -151,7 +291,9 @@ def lint_paths(
         waived=waived,
         files=len(context.modules) + len(context.parse_failures),
         rules_run=tuple(sorted(r.rule_id for r in selected)),
+        files_reused=files_reused,
+        files_relinted=files_relinted,
     )
 
 
-__all__ = ["LintResult", "default_target", "lint_paths"]
+__all__ = ["LintResult", "changed_files", "default_target", "lint_paths"]

@@ -108,8 +108,9 @@ class WaiverReasonRule(LintRule):
         "inline waivers must carry a reason: # repro: noqa RULE-ID(why)"
     )
 
-    def check(self, context: LintContext):
-        for problem in context.waiver_problems:
+    def check_module(self, context: LintContext, info: ModuleInfo):
+        _, problems = parse_waivers(info)
+        for problem in problems:
             yield Finding(
                 path=problem.rel_path,
                 line=problem.lineno,

@@ -36,6 +36,31 @@ from repro.core.config import TransmissionConfig
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.registry import COLLECTION_BACKENDS
 
+#: Guard-canary geometry (``ShardPool(guard=True)``): each segment is
+#: padded with one canary block on each side of the payload, filled
+#: with a generation-salted 64-bit pattern and re-verified after every
+#: collect — an out-of-range shard write tears the pattern.
+_GUARD_WORDS = 8
+_GUARD_NBYTES = _GUARD_WORDS * 8
+_CANARY_SEED = 0x9E3779B97F4A7C15
+
+
+def shm_range_owner(ranges: str):
+    """Declare a function the owner of its assigned shm node ranges.
+
+    The shared-memory lint (``SHM-002``) flags writes into attached
+    segments unless the writer declares which ranges it owns and why
+    overlapping writers cannot race.  The declaration is load-bearing
+    documentation: the runtime sanitizer (``repro lint --sanitize``)
+    stresses exactly this claim with guard canaries.
+    """
+
+    def mark(func):
+        func.__shm_range_owner__ = ranges
+        return func
+
+    return mark
+
 
 def shard_aware_kwargs(
     backend: Any, node_offset: int, total_nodes: int
@@ -83,10 +108,32 @@ def _as_view(
     segment: shared_memory.SharedMemory,
     shape: Tuple[int, ...],
     dtype: str,
+    offset: int = 0,
 ) -> np.ndarray:
-    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+    return np.ndarray(
+        shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset
+    )
 
 
+def _canary(generation: int) -> np.ndarray:
+    """The 64-bit guard pattern for one collect generation."""
+    word = np.uint64(_CANARY_SEED) ^ np.uint64(generation)
+    return np.full(_GUARD_WORDS, word, dtype=np.uint64)
+
+
+def _guard_views(
+    segment: shared_memory.SharedMemory, nbytes: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Head and tail canary blocks bracketing a guarded payload."""
+    head = _as_view(segment, (_GUARD_WORDS,), "uint64", 0)
+    tail = _as_view(segment, (_GUARD_WORDS,), "uint64", _GUARD_NBYTES + nbytes)
+    return head, tail
+
+
+@shm_range_owner(
+    "writes stored/decisions only inside the [lo, hi) ranges of its own "
+    "collect queue; the parent assigns disjoint ranges round-robin"
+)
 def _worker_main(conn, own_tracker: bool) -> None:
     """Worker loop: attach → collect ranges → detach, until ``stop``.
 
@@ -106,11 +153,25 @@ def _worker_main(conn, own_tracker: bool) -> None:
             break
         try:
             if verb == "attach":
-                segments = [
-                    _attach(payload["trace"][0], own_tracker),
-                    _attach(payload["stored"][0], own_tracker),
-                    _attach(payload["decisions"][0], own_tracker),
-                ]
+                # A re-attach (new collect) must not leak the previous
+                # generation's mappings.
+                for segment in segments:
+                    segment.close()
+                segments = []
+                trace = stored = decisions = None
+                attached: List[shared_memory.SharedMemory] = []
+                try:
+                    for key in ("trace", "stored", "decisions"):
+                        attached.append(
+                            _attach(payload[key][0], own_tracker)
+                        )
+                except Exception:
+                    # Partial attach: close what did map, or the failed
+                    # attach pins the earlier segments until exit.
+                    for segment in attached:
+                        segment.close()
+                    raise
+                segments = attached
                 trace = _as_view(segments[0], *payload["trace"][1:])
                 stored = _as_view(segments[1], *payload["stored"][1:])
                 decisions = _as_view(segments[2], *payload["decisions"][1:])
@@ -164,12 +225,20 @@ class ShardPool:
 
     Args:
         workers: Number of persistent worker processes, >= 1.
+        guard: Pad every segment with generation-counter canaries and
+            verify them after each collect (the ``repro lint
+            --sanitize`` instrumentation).  Off by default: the canary
+            check costs one extra pass over 128 bytes per segment, but
+            guarded layouts shift every view by ``_GUARD_NBYTES`` and
+            production runs keep the exact PR 8 layout.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(self, workers: int, *, guard: bool = False) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
+        self.guard = bool(guard)
+        self._generation = 0
         method = (
             "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         )
@@ -188,20 +257,26 @@ class ShardPool:
                 pass
         self._conns = []
         self._procs = []
-        for _ in range(self.workers):
-            parent_conn, child_conn = context.Pipe()
-            proc = context.Process(
-                target=_worker_main,
-                # Spawned workers run their own resource tracker and
-                # must drop attach-side registrations (see _attach).
-                args=(child_conn, method == "spawn"),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
         self._closed = False
+        try:
+            for _ in range(self.workers):
+                parent_conn, child_conn = context.Pipe()
+                proc = context.Process(
+                    target=_worker_main,
+                    # Spawned workers run their own resource tracker and
+                    # must drop attach-side registrations (see _attach).
+                    args=(child_conn, method == "spawn"),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        except Exception:
+            # Partial spawn: stop the workers that did start, or their
+            # processes and pipe fds outlive the failed constructor.
+            self.close()
+            raise
 
     # -- lifecycle ------------------------------------------------------
 
@@ -296,36 +371,60 @@ class ShardPool:
             )
         num_steps, num_nodes, dim = data.shape
         decisions_dtype = np.dtype(bool)
+        # Guarded layout: [canary | payload | canary]; views shift by
+        # the head-canary offset and everything else is unchanged.
+        pad = _GUARD_NBYTES if self.guard else 0
+        self._generation += 1
+        generation = self._generation
+        payload_nbytes = (
+            data.nbytes,
+            data.nbytes,
+            num_steps * num_nodes * decisions_dtype.itemsize,
+        )
         segments = []
         try:
             # repro: noqa KER-003(three fixed segments, not a node loop)
-            for nbytes in (
-                data.nbytes,
-                data.nbytes,
-                num_steps * num_nodes * decisions_dtype.itemsize,
-            ):
+            for nbytes in payload_nbytes:
                 segments.append(
                     shared_memory.SharedMemory(
-                        create=True, size=max(1, nbytes)
+                        create=True, size=max(1, nbytes) + 2 * pad
                     )
                 )
             trace_seg, stored_seg, decisions_seg = segments
-            _as_view(trace_seg, data.shape, data.dtype.name)[:] = data
-            self._broadcast(
-                "attach",
-                {
-                    "trace": (trace_seg.name, data.shape, data.dtype.name),
-                    "stored": (stored_seg.name, data.shape, data.dtype.name),
-                    "decisions": (
-                        decisions_seg.name,
-                        (num_steps, num_nodes),
-                        decisions_dtype.name,
-                    ),
-                    "backend": backend_name,
-                    "transmission": transmission,
-                    "total_nodes": num_nodes,
-                },
-            )
+            if self.guard:
+                for segment, nbytes in zip(segments, payload_nbytes):
+                    head, tail = _guard_views(segment, max(1, nbytes))
+                    head[:] = _canary(generation)
+                    tail[:] = _canary(generation)
+            # repro: shm-owner(parent publishes the trace before any worker attaches)
+            _as_view(trace_seg, data.shape, data.dtype.name, pad)[:] = data
+            try:
+                self._broadcast(
+                    "attach",
+                    {
+                        "trace": (
+                            trace_seg.name, data.shape, data.dtype.name, pad,
+                        ),
+                        "stored": (
+                            stored_seg.name, data.shape, data.dtype.name, pad,
+                        ),
+                        "decisions": (
+                            decisions_seg.name,
+                            (num_steps, num_nodes),
+                            decisions_dtype.name,
+                            pad,
+                        ),
+                        "backend": backend_name,
+                        "transmission": transmission,
+                        "total_nodes": num_nodes,
+                    },
+                )
+            except SimulationError:
+                # A partially failed attach broadcast leaves the
+                # successful workers mapped to segments this finally
+                # block is about to unlink; detach them first.
+                self._broadcast("detach", None, strict=False)
+                raise
             try:
                 queues: List[List[Tuple[int, int]]] = [
                     [] for _ in range(self.workers)
@@ -352,18 +451,23 @@ class ShardPool:
                         f"shard worker failed collect: {errors[0]}"
                     )
                 stored = np.array(
-                    _as_view(stored_seg, data.shape, data.dtype.name)
+                    _as_view(stored_seg, data.shape, data.dtype.name, pad)
                 )
                 decisions = np.array(
                     _as_view(
                         decisions_seg,
                         (num_steps, num_nodes),
                         decisions_dtype.name,
+                        pad,
                     )
                 )
             finally:
                 # Never mask a collect error with a detach failure.
                 self._broadcast("detach", None, strict=False)
+            if self.guard:
+                self._verify_guards(
+                    segments, payload_nbytes, generation
+                )
             return stored, decisions
         finally:
             for segment in segments:
@@ -373,5 +477,29 @@ class ShardPool:
                 except FileNotFoundError:  # pragma: no cover
                     pass
 
+    def _verify_guards(
+        self,
+        segments: Sequence[shared_memory.SharedMemory],
+        payload_nbytes: Sequence[int],
+        generation: int,
+    ) -> None:
+        """Raise if any canary block was torn during this collect."""
+        expected = _canary(generation)
+        torn = []
+        for label, segment, nbytes in zip(
+            ("trace", "stored", "decisions"), segments, payload_nbytes
+        ):
+            head, tail = _guard_views(segment, max(1, nbytes))
+            if not np.array_equal(head, expected):
+                torn.append(f"{label}:head")
+            if not np.array_equal(tail, expected):
+                torn.append(f"{label}:tail")
+        if torn:
+            raise SimulationError(
+                f"shard pool guard canary torn after collect generation "
+                f"{generation}: {', '.join(torn)} — a worker wrote "
+                "outside its segment payload"
+            )
 
-__all__ = ["ShardPool", "shard_aware_kwargs"]
+
+__all__ = ["ShardPool", "shard_aware_kwargs", "shm_range_owner"]

@@ -2,9 +2,9 @@
 
 Each rule family gets a seeded-violation fixture (proving ``repro
 lint`` exits non-zero on it) and a clean fixture (proving no false
-positive), plus waiver semantics, the JSON reporter schema, the
-runtime contract verifier, and the meta-test that the shipped tree
-itself lints clean.
+positive), plus waiver semantics, the JSON/GitHub reporter schemas,
+the incremental result cache, the runtime contract verifier, the shm
+sanitizer, and the meta-test that the shipped tree itself lints clean.
 """
 
 import json
@@ -19,9 +19,11 @@ from repro.lint import (
     default_target,
     lint_paths,
     parse_waivers,
+    render_github,
     render_json,
     render_text,
     run_runtime_checks,
+    run_sanitize_checks,
 )
 from repro.lint.runner import LintResult
 
@@ -342,6 +344,328 @@ def test_dt_001_scoped_to_fleet_scale_modules(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# Dtype-dataflow family (DT-002)
+# ---------------------------------------------------------------------------
+
+
+def test_dt_002_bare_literal_mixed_with_state_dtype(tmp_path):
+    write_pkg(tmp_path, {"fpkg/transmission/kern.py": (
+        "import numpy as np\n"
+        "def kernel(dtype):\n"
+        "    col = np.zeros(4, dtype=dtype)\n"
+        "    return col * 1.5\n"
+    )})
+    result = lint_paths([tmp_path])
+    assert rule_ids(result) == ["DT-002"]
+    assert result.findings[0].line == 4
+
+
+def test_dt_002_sanctioned_cast_idioms_pass(tmp_path):
+    write_pkg(tmp_path, {"fpkg/transmission/kern.py": (
+        "import numpy as np\n"
+        "def kernel(dtype, values):\n"
+        "    col = np.zeros(4, dtype=dtype)\n"
+        "    d = col.dtype\n"
+        "    scaled = col * (np.asarray(values, dtype=d) + d.type(1.5))\n"
+        "    col += 0.5\n"  # in-place never changes the target dtype
+        "    return scaled\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+def test_dt_002_float64_value_mixed_with_state_dtype(tmp_path):
+    write_pkg(tmp_path, {"fpkg/transmission/kern.py": (
+        "import numpy as np\n"
+        "def kernel(dtype):\n"
+        "    col = np.zeros(4, dtype=dtype)\n"
+        "    bias = np.zeros(4, dtype=np.float64)\n"
+        "    return col + bias\n"
+    )})
+    result = lint_paths([tmp_path])
+    assert rule_ids(result) == ["DT-002"]
+
+
+def test_dt_002_propagates_through_calls(tmp_path):
+    # The call-graph summary layer tags helper's parameter state-dtype
+    # from its call site; the literal mix inside helper is flagged
+    # without any annotation.
+    write_pkg(tmp_path, {"fpkg/transmission/kern.py": (
+        "import numpy as np\n"
+        "def helper(column):\n"
+        "    return column - 0.25\n"
+        "def kernel(dtype):\n"
+        "    col = np.zeros(4, dtype=dtype)\n"
+        "    return helper(col)\n"
+    )})
+    result = lint_paths([tmp_path])
+    assert rule_ids(result) == ["DT-002"]
+    assert result.findings[0].line == 3
+
+
+def test_dt_002_scoped_to_dataflow_modules(tmp_path):
+    write_pkg(tmp_path, {"fpkg/metrics/report.py": (
+        "import numpy as np\n"
+        "def kernel(dtype):\n"
+        "    col = np.zeros(4, dtype=dtype)\n"
+        "    return col * 1.5\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint coverage (STATE-003)
+# ---------------------------------------------------------------------------
+
+
+def test_state_003_runtime_mutation_not_in_state(tmp_path):
+    write_pkg(tmp_path, {"pkg/comp.py": (
+        "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self.count = 0\n"
+        "        self.label = 'x'\n"
+        "    def step(self):\n"
+        "        self.count += 1\n"
+        "    def get_state(self):\n"
+        "        return {'label': self.label}\n"
+        "    def set_state(self, state):\n"
+        "        self.label = state['label']\n"
+    )})
+    result = lint_paths([tmp_path])
+    assert rule_ids(result) == ["STATE-003"]
+    (finding,) = result.findings
+    assert "count" in finding.message
+    assert finding.line == 6
+
+
+def test_state_003_covered_by_getter_key_modulo_underscores(tmp_path):
+    write_pkg(tmp_path, {"pkg/comp.py": (
+        "class Good:\n"
+        "    def step(self):\n"
+        "        self._count += 1\n"
+        "    def get_state(self):\n"
+        "        return {'count': self._count}\n"
+        "    def set_state(self, state):\n"
+        "        self._count = state['count']\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+def test_state_003_covered_by_setter_assignment(tmp_path):
+    # The key spelling differs from the attribute name, but the setter
+    # restores the attribute — that is coverage.
+    write_pkg(tmp_path, {"pkg/comp.py": (
+        "class Alias:\n"
+        "    def step(self):\n"
+        "        self.steps_done += 1\n"
+        "    def get_state(self):\n"
+        "        return {'progress': self.steps_done}\n"
+        "    def set_state(self, state):\n"
+        "        self.steps_done = state['progress']\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+def test_state_003_open_state_sets_are_skipped(tmp_path):
+    write_pkg(tmp_path, {"pkg/comp.py": (
+        "class Dynamic:\n"
+        "    def step(self):\n"
+        "        self.cursor += 1\n"
+        "    def get_state(self):\n"
+        "        return {'a': 1, **self.extra()}\n"
+        "    def set_state(self, state):\n"
+        "        self.apply(state)\n"
+        "    def extra(self):\n"
+        "        return {}\n"
+        "    def apply(self, state):\n"
+        "        pass\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+def test_state_003_constructor_only_attrs_pass(tmp_path):
+    write_pkg(tmp_path, {"pkg/comp.py": (
+        "class Config:\n"
+        "    def __init__(self, n):\n"
+        "        self.n = n\n"
+        "    def reset(self):\n"
+        "        self.n = 0\n"
+        "    def get_state(self):\n"
+        "        return {'n': self.n}\n"
+        "    def set_state(self, state):\n"
+        "        self.n = state['n']\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory family (SHM-001/2/3)
+# ---------------------------------------------------------------------------
+
+_SHM_HEADER = (
+    "import numpy as np\n"
+    "from multiprocessing import shared_memory\n"
+)
+
+
+def test_shm_001_segment_never_unlinked(tmp_path):
+    write_pkg(tmp_path, {"spkg/pool.py": _SHM_HEADER + (
+        "def leaky(nbytes):\n"
+        "    seg = shared_memory.SharedMemory(create=True, size=nbytes)\n"
+        "    seg.close()\n"
+    )})
+    result = lint_paths([tmp_path])
+    assert "SHM-001" in rule_ids(result)
+    assert any("unlink" in f.message for f in result.findings)
+
+
+def test_shm_001_happy_path_only_cleanup_flagged(tmp_path):
+    write_pkg(tmp_path, {"spkg/pool.py": _SHM_HEADER + (
+        "def fragile(nbytes, work):\n"
+        "    seg = shared_memory.SharedMemory(create=True, size=nbytes)\n"
+        "    work(seg)\n"
+        "    seg.close()\n"
+        "    seg.unlink()\n"
+    )})
+    result = lint_paths([tmp_path])
+    assert "SHM-001" in rule_ids(result)
+    assert any("happy path" in f.message for f in result.findings)
+
+
+def test_shm_001_finally_protected_cleanup_passes(tmp_path):
+    write_pkg(tmp_path, {"spkg/pool.py": _SHM_HEADER + (
+        "def safe(nbytes, work):\n"
+        "    seg = shared_memory.SharedMemory(create=True, size=nbytes)\n"
+        "    try:\n"
+        "        work(seg)\n"
+        "    finally:\n"
+        "        seg.close()\n"
+        "        seg.unlink()\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+def test_shm_001_collection_cleanup_in_finally_passes(tmp_path):
+    write_pkg(tmp_path, {"spkg/pool.py": _SHM_HEADER + (
+        "def safe(sizes, work):\n"
+        "    segments = []\n"
+        "    try:\n"
+        "        for size in sizes:\n"
+        "            segments.append(\n"
+        "                shared_memory.SharedMemory(create=True, size=size)\n"
+        "            )\n"
+        "        work(segments)\n"
+        "    finally:\n"
+        "        for segment in segments:\n"
+        "            segment.close()\n"
+        "            segment.unlink()\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+def test_shm_001_escaping_segment_needs_ownership(tmp_path):
+    write_pkg(tmp_path, {"spkg/pool.py": _SHM_HEADER + (
+        "class Pool:\n"
+        "    def make(self, nbytes):\n"
+        "        seg = shared_memory.SharedMemory(create=True, size=nbytes)\n"
+        "        self._seg = seg\n"
+        "        return seg\n"
+    )})
+    result = lint_paths([tmp_path])
+    assert "SHM-001" in rule_ids(result)
+    assert any("escapes" in f.message for f in result.findings)
+
+
+def test_shm_001_declared_ownership_passes(tmp_path):
+    write_pkg(tmp_path, {"spkg/pool.py": _SHM_HEADER + (
+        "class Pool:\n"
+        "    def make(self, nbytes):\n"
+        "        # repro: shm-owner(pool frees the segment on close)\n"
+        "        seg = shared_memory.SharedMemory(create=True, size=nbytes)\n"
+        "        self._seg = seg\n"
+        "        return seg\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+def test_shm_002_view_write_without_owner(tmp_path):
+    write_pkg(tmp_path, {"spkg/pool.py": _SHM_HEADER + (
+        "def writer(seg, lo, hi):\n"
+        "    view = np.ndarray((8,), dtype=np.float32, buffer=seg.buf)\n"
+        "    view[lo:hi] = 1\n"
+    )})
+    result = lint_paths([tmp_path])
+    assert rule_ids(result) == ["SHM-002"]
+
+
+def test_shm_002_decorated_range_owner_passes(tmp_path):
+    write_pkg(tmp_path, {"spkg/pool.py": _SHM_HEADER + (
+        "def shm_range_owner(ranges):\n"
+        "    def mark(func):\n"
+        "        return func\n"
+        "    return mark\n"
+        "@shm_range_owner('writes only its assigned [lo, hi)')\n"
+        "def writer(seg, lo, hi):\n"
+        "    view = np.ndarray((8,), dtype=np.float32, buffer=seg.buf)\n"
+        "    view[lo:hi] = 1\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+def test_shm_002_owner_comment_on_write_line_passes(tmp_path):
+    write_pkg(tmp_path, {"spkg/pool.py": _SHM_HEADER + (
+        "def writer(seg, lo, hi):\n"
+        "    view = np.ndarray((8,), dtype=np.float32, buffer=seg.buf)\n"
+        "    # repro: shm-owner(single writer before workers spawn)\n"
+        "    view[lo:hi] = 1\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+def test_shm_002_view_through_helper_is_tracked(tmp_path):
+    # The helper returns an shm-backed view; the dataflow layer tags
+    # the caller's local VIEW through the call summary.
+    write_pkg(tmp_path, {"spkg/pool.py": _SHM_HEADER + (
+        "def as_view(seg, shape):\n"
+        "    return np.ndarray(shape, dtype=np.float32, buffer=seg.buf)\n"
+        "def writer(seg):\n"
+        "    out = as_view(seg, (8,))\n"
+        "    out[:] = 0\n"
+    )})
+    result = lint_paths([tmp_path])
+    assert rule_ids(result) == ["SHM-002"]
+
+
+def test_shm_003_ndarray_in_pipe_payload(tmp_path):
+    write_pkg(tmp_path, {"spkg/pool.py": _SHM_HEADER + (
+        "def request(conn, dtype):\n"
+        "    arr = np.zeros(4, dtype=dtype)\n"
+        "    conn.send(('data', arr))\n"
+    )})
+    result = lint_paths([tmp_path])
+    assert rule_ids(result) == ["SHM-003"]
+    assert "arr" in result.findings[0].message
+
+
+def test_shm_003_range_payloads_pass(tmp_path):
+    write_pkg(tmp_path, {"spkg/pool.py": _SHM_HEADER + (
+        "def request(conn, ranges):\n"
+        "    conn.send(('collect', [(int(lo), int(hi)) "
+        "for lo, hi in ranges]))\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+def test_shm_rules_ignore_modules_without_shm_import(tmp_path):
+    write_pkg(tmp_path, {"spkg/other.py": (
+        "import numpy as np\n"
+        "def writer(buf):\n"
+        "    view = np.ndarray((8,), dtype=np.float32, buffer=buf)\n"
+        "    view[:] = 1\n"
+    )})
+    assert lint_paths([tmp_path]).ok
+
+
+# ---------------------------------------------------------------------------
 # Waivers
 # ---------------------------------------------------------------------------
 
@@ -411,6 +735,151 @@ def test_waiver_inside_string_literal_is_not_a_waiver(tmp_path):
     assert result.ok  # no WAIVE-001: it's a string, not a comment
 
 
+_DECORATED_STATE_VIOLATION = (
+    "def register(cls):\n"
+    "    return cls\n"
+    "@register\n"
+    "class Broken:\n"
+    "    def get_state(self):{waiver}\n"
+    "        return {{'a': 1}}\n"
+)
+
+
+def test_trailing_waiver_on_decorated_def_suppresses(tmp_path):
+    # STATE-001 anchors at the ``def`` line, so a trailing waiver
+    # there covers it even when the class carries decorators.
+    write_pkg(tmp_path, {"pkg/comp.py": _DECORATED_STATE_VIOLATION.format(
+        waiver="  # repro: noqa STATE-001(fixture)",
+    )})
+    result = lint_paths([tmp_path])
+    assert result.ok
+    assert result.waived[0].rule_id == "STATE-001"
+
+
+def test_own_line_waiver_above_decorator_misses_def_line(tmp_path):
+    # An own-line waiver covers only the *next* line — placed above
+    # the decorator it waives the decorator line, not the def.
+    write_pkg(tmp_path, {"pkg/comp.py": (
+        "def register(cls):\n"
+        "    return cls\n"
+        "# repro: noqa STATE-001(wrong line)\n"
+        "@register\n"
+        "class Broken:\n"
+        "    def get_state(self):\n"
+        "        return {'a': 1}\n"
+    )})
+    result = lint_paths([tmp_path])
+    assert "STATE-001" in rule_ids(result)
+
+
+def test_multi_rule_waiver_on_single_line(tmp_path):
+    # One expression that fires two rules on the same line; one
+    # own-line waiver naming both suppresses both.
+    write_pkg(tmp_path, {"cpkg/transmission/kern.py": (
+        "import numpy as np\n"
+        "def kernel(dtype):\n"
+        "    col = np.zeros(4, dtype=dtype)\n"
+        "    # repro: noqa DT-001(fixture) DT-002(fixture)\n"
+        "    return col + np.zeros(4)\n"
+    )})
+    result = lint_paths([tmp_path])
+    assert result.ok
+    assert sorted(f.rule_id for f in result.waived) == ["DT-001", "DT-002"]
+
+
+def test_waivers_apply_to_new_rules_in_fixture_packages(tmp_path):
+    write_pkg(tmp_path, {"spkg/pool.py": (
+        "import numpy as np\n"
+        "from multiprocessing import shared_memory\n"
+        "def writer(seg, lo, hi):\n"
+        "    view = np.ndarray((8,), dtype=np.float32, buffer=seg.buf)\n"
+        "    view[lo:hi] = 1  # repro: noqa SHM-002(fixture waiver)\n"
+    )})
+    result = lint_paths([tmp_path])
+    assert result.ok
+    assert result.waived[0].rule_id == "SHM-002"
+    assert result.waived[0].waive_reason == "fixture waiver"
+
+
+# ---------------------------------------------------------------------------
+# Incremental cache and --changed filtering
+# ---------------------------------------------------------------------------
+
+
+_CLEAN_MOD = "import numpy as np\ndef ok():\n    return np.float32(0)\n"
+
+
+def _cache_pkg(tmp_path):
+    return write_pkg(tmp_path, {
+        "ipkg/a.py": _CLEAN_MOD,
+        "ipkg/b.py": _CLEAN_MOD,
+    })
+
+
+def test_cache_reuses_unchanged_files(tmp_path):
+    pkg = _cache_pkg(tmp_path)
+    cache = tmp_path / "lint-cache.json"
+    first = lint_paths([pkg], cache_path=cache)
+    assert first.files_reused == 0
+    assert first.files_relinted > 0
+    second = lint_paths([pkg], cache_path=cache)
+    assert second.files_relinted == 0
+    assert second.files_reused == first.files_relinted
+    assert [str(f) for f in second.findings] == [
+        str(f) for f in first.findings
+    ]
+
+
+def test_cache_relints_only_the_changed_file(tmp_path):
+    pkg = _cache_pkg(tmp_path)
+    cache = tmp_path / "lint-cache.json"
+    lint_paths([pkg], cache_path=cache)
+    target = pkg / "ipkg" / "a.py"
+    target.write_text(target.read_text() + "# trailing comment\n")
+    result = lint_paths([pkg], cache_path=cache)
+    assert result.files_relinted == 1
+
+
+def test_cache_preserves_cached_findings_and_waivers(tmp_path):
+    pkg = write_pkg(tmp_path, {
+        "cpkg/core/ring.py": (
+            "import numpy as np\n"
+            "def make_buffer(n):\n"
+            "    return np.zeros((n, 4))\n"
+        ),
+        "cpkg/transmission/other.py": (
+            "import numpy as np\n"
+            "def make(n):\n"
+            "    return np.zeros(n)  # repro: noqa DT-001(fixture)\n"
+        ),
+    })
+    cache = tmp_path / "lint-cache.json"
+    first = lint_paths([pkg], cache_path=cache)
+    second = lint_paths([pkg], cache_path=cache)
+    assert second.files_relinted == 0
+    assert rule_ids(second) == rule_ids(first) == ["DT-001"]
+    assert len(second.waived) == len(first.waived) == 1
+
+
+def test_changed_filter_restricts_findings(tmp_path):
+    pkg = write_pkg(tmp_path, {
+        "cpkg/core/ring.py": (
+            "import numpy as np\n"
+            "def make_buffer(n):\n"
+            "    return np.zeros((n, 4))\n"
+        ),
+        "cpkg/transmission/slab.py": (
+            "import numpy as np\n"
+            "def make_slab(n):\n"
+            "    return np.zeros((n, 2))\n"
+        ),
+    })
+    changed = {(pkg / "cpkg" / "transmission" / "slab.py").resolve()}
+    result = lint_paths([pkg], changed=changed)
+    assert rule_ids(result) == ["DT-001"]
+    assert all(f.path.endswith("slab.py") for f in result.findings)
+
+
 # ---------------------------------------------------------------------------
 # Framework: parse failures, reporters, CLI
 # ---------------------------------------------------------------------------
@@ -443,7 +912,7 @@ def test_text_report_format(tmp_path):
     write_pkg(tmp_path, {"cpkg/core/ring.py": _DT_VIOLATION})
     text = render_text(lint_paths([tmp_path]))
     assert "ring.py:3: DT-001" in text
-    assert text.strip().endswith("(0 waived, 10 rules)")
+    assert text.strip().endswith("(0 waived, 15 rules)")
 
 
 def test_rules_filter_restricts_scope(tmp_path):
@@ -493,6 +962,154 @@ def test_cli_list_shows_lint_rules(capsys):
         assert rule_id in out
 
 
+def test_github_report_format(tmp_path):
+    write_pkg(tmp_path, {"cpkg/core/ring.py": (
+        "import numpy as np\n"
+        "def make_buffer(n):\n"
+        "    return np.zeros((n, 4))\n"
+    )})
+    result = lint_paths([tmp_path])
+    out = render_github(result)
+    assert out.startswith("::error file=")
+    assert "title=DT-001" in out
+    assert ",line=3," in out
+
+
+def test_github_report_escapes_newlines():
+    from repro.lint.findings import Finding
+
+    result = LintResult(
+        findings=[
+            Finding(
+                path="pkg/mod.py",
+                line=2,
+                rule_id="DT-001",
+                message="bad%\nmessage",
+            )
+        ],
+        files=1,
+        rules_run=("DT-001",),
+    )
+    out = render_github(result)
+    assert "%0A" in out and "%25" in out
+    assert "\n" not in out.split("::error", 2)[-1].rstrip("\n")
+
+
+def test_cli_lint_cache_and_changed_flags(tmp_path, capsys):
+    write_pkg(tmp_path, {"ipkg/a.py": _CLEAN_MOD})
+    cache = tmp_path / "cache.json"
+    assert main(["lint", str(tmp_path), "--cache", str(cache)]) == 0
+    assert cache.exists()
+    assert main(["lint", str(tmp_path), "--cache", str(cache)]) == 0
+    capsys.readouterr()
+
+
+def test_cli_lint_changed_bad_ref_exits_two(tmp_path, capsys):
+    write_pkg(tmp_path, {"ipkg/a.py": _CLEAN_MOD})
+    code = main([
+        "lint", str(tmp_path), "--changed", "no-such-ref-xyzzy",
+    ])
+    assert code == 2
+    assert "no-such-ref-xyzzy" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Guard canaries and the shm sanitizer
+# ---------------------------------------------------------------------------
+
+
+def test_guard_canary_tear_detected():
+    from multiprocessing import shared_memory
+
+    import numpy as np
+
+    import repro.simulation.shard_pool as sp
+    from repro.exceptions import SimulationError
+
+    seg = shared_memory.SharedMemory(
+        create=True, size=64 + 2 * sp._GUARD_NBYTES
+    )
+    try:
+        head, tail = sp._guard_views(seg, 64)
+        head[:] = sp._canary(3)
+        tail[:] = sp._canary(3)
+        pool = object.__new__(sp.ShardPool)
+        sp.ShardPool._verify_guards(pool, [seg], [64], 3)  # intact
+        tail[0] ^= np.uint64(1)
+        with pytest.raises(SimulationError, match="canary torn"):
+            sp.ShardPool._verify_guards(pool, [seg], [64], 3)
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def test_guard_canary_is_generation_specific():
+    import numpy as np
+
+    import repro.simulation.shard_pool as sp
+
+    assert not np.array_equal(sp._canary(1), sp._canary(2))
+    assert np.array_equal(sp._canary(7), sp._canary(7))
+
+
+@pytest.mark.slow
+def test_sanitizer_detects_seeded_segment_leak(monkeypatch):
+    from multiprocessing import shared_memory
+
+    import repro.simulation.shard_pool as sp
+    from repro.lint import sanitize
+
+    real_collect = sp.ShardPool.collect
+    leaked = []
+
+    def leaky_collect(self, *args, **kwargs):
+        seg = shared_memory.SharedMemory(create=True, size=64)
+        leaked.append(seg)
+        return real_collect(self, *args, **kwargs)
+
+    monkeypatch.setattr(sp.ShardPool, "collect", leaky_collect)
+    try:
+        findings = sanitize._check_leak_accounting()
+    finally:
+        for seg in leaked:
+            seg.close()
+            seg.unlink()
+    assert any(
+        f.rule_id == "RT-004" and "/dev/shm" in f.message
+        for f in findings
+    )
+
+
+@pytest.mark.slow
+def test_sanitizer_reports_torn_canary_as_rt_005(monkeypatch):
+    import repro.simulation.shard_pool as sp
+    from repro.exceptions import SimulationError
+    from repro.lint import sanitize
+
+    def torn_collect(self, *args, **kwargs):
+        raise SimulationError(
+            "shard pool guard canary torn after collect generation 1"
+        )
+
+    monkeypatch.setattr(sp.ShardPool, "collect", torn_collect)
+    findings = sanitize._check_guard_stress()
+    assert [f.rule_id for f in findings] == ["RT-005"]
+    assert "tore a canary" in findings[0].message
+
+
+@pytest.mark.slow
+def test_sanitize_checks_pass_on_shipped_pool():
+    findings = run_sanitize_checks()
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+@pytest.mark.slow
+def test_cli_lint_sanitize_flag(capsys):
+    assert main(["lint", "--sanitize"]) == 0
+    out = capsys.readouterr().out
+    assert "17 rules" in out
+
+
 # ---------------------------------------------------------------------------
 # The shipped tree and the runtime contracts
 # ---------------------------------------------------------------------------
@@ -515,7 +1132,8 @@ def test_every_rule_has_id_family_description():
         assert rule.rule_id == rule_id
         assert rule.family
         assert rule.description
-        assert rule.scope in ("static", "runtime")
+        assert rule.scope in ("static", "runtime", "sanitize")
+        assert rule.granularity in ("file", "tree")
 
 
 @pytest.mark.slow
@@ -528,4 +1146,4 @@ def test_runtime_contracts_hold_for_all_components():
 def test_cli_lint_runtime_flag(capsys):
     assert main(["lint", "--runtime"]) == 0
     out = capsys.readouterr().out
-    assert "13 rules" in out
+    assert "18 rules" in out
